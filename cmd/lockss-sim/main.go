@@ -1,0 +1,133 @@
+// Command lockss-sim regenerates the evaluation figures and tables of
+// "Attrition Defenses for a Peer-to-Peer Digital Preservation System"
+// (USENIX 2005) from the simulator in this repository.
+//
+// Usage:
+//
+//	lockss-sim -figure 2            # one figure: 2..8, table1, ablations
+//	lockss-sim -figure all          # everything
+//	lockss-sim -scale paper         # tiny | small | paper
+//	lockss-sim -seeds 3 -seed 42 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lockss/internal/experiment"
+)
+
+func main() {
+	var (
+		figure  = flag.String("figure", "all", "which artifact to regenerate: 2,3,4,5,6,7,8,table1,ablations,extensions,all")
+		scale   = flag.String("scale", "small", "experiment fidelity: tiny, small, paper")
+		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = scale default)")
+		seed    = flag.Uint64("seed", 0, "base seed offset")
+		verbose = flag.Bool("v", false, "print per-data-point progress")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed}
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		opts.Scale = experiment.ScaleTiny
+	case "small":
+		opts.Scale = experiment.ScaleSmall
+	case "paper":
+		opts.Scale = experiment.ScalePaper
+	default:
+		fmt.Fprintf(os.Stderr, "lockss-sim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *verbose {
+		start := time.Now()
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "[%7.1fs] %s\n", time.Since(start).Seconds(), fmt.Sprintf(format, args...))
+		}
+	}
+
+	emit := func(tables ...*experiment.Table) {
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "lockss-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	want := func(name string) bool {
+		f := strings.ToLower(*figure)
+		return f == "all" || f == name
+	}
+
+	if want("2") {
+		t, err := experiment.Figure2(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if want("3") || want("4") || want("5") {
+		ts, err := experiment.FiguresPipeStoppage(opts)
+		if err != nil {
+			fail(err)
+		}
+		if strings.ToLower(*figure) == "all" {
+			emit(ts...)
+		} else {
+			idx := map[string]int{"3": 0, "4": 1, "5": 2}[strings.ToLower(*figure)]
+			emit(ts[idx])
+		}
+	}
+	if want("6") || want("7") || want("8") {
+		ts, err := experiment.FiguresAdmissionFlood(opts)
+		if err != nil {
+			fail(err)
+		}
+		if strings.ToLower(*figure) == "all" {
+			emit(ts...)
+		} else {
+			idx := map[string]int{"6": 0, "7": 1, "8": 2}[strings.ToLower(*figure)]
+			emit(ts[idx])
+		}
+	}
+	if want("table1") {
+		t, err := experiment.Table1(opts)
+		if err != nil {
+			fail(err)
+		}
+		emit(t)
+	}
+	if want("ablations") {
+		for _, gen := range []func(experiment.Options) (*experiment.Table, error){
+			experiment.AblationRefractory,
+			experiment.AblationDropProb,
+			experiment.AblationIntroductions,
+			experiment.AblationDesynchronization,
+			experiment.AblationEffortBalancing,
+		} {
+			t, err := gen(opts)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		}
+	}
+	if want("extensions") {
+		for _, gen := range []func(experiment.Options) (*experiment.Table, error){
+			experiment.ExtensionChurn,
+			experiment.ExtensionAdaptive,
+			experiment.ExtensionCombined,
+		} {
+			t, err := gen(opts)
+			if err != nil {
+				fail(err)
+			}
+			emit(t)
+		}
+	}
+}

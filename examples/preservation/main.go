@@ -1,0 +1,42 @@
+// Preservation scenario: a library consortium preserving e-journals over
+// several years of bit rot at different poll frequencies — the trade-off the
+// paper's Figure 2 quantifies. Shows how the inter-poll interval bounds the
+// window during which readers can see damaged content.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lockss"
+)
+
+func main() {
+	fmt.Println("Library consortium: 40 peers x 8 journal-years, 2 simulated years")
+	fmt.Println("Storage layer: one bad block per disk-year (pessimistic)")
+	fmt.Println()
+	fmt.Printf("%-18s %-16s %-14s %-10s\n", "poll interval", "access-failure", "damage fixed", "alarms")
+
+	for _, months := range []int{1, 3, 6, 12} {
+		cfg := lockss.DefaultConfig()
+		cfg.Peers = 40
+		cfg.AUs = 8
+		cfg.AUSize = 64 << 20
+		cfg.Duration = 2 * lockss.Year
+		cfg.DamageDiskYears = 1
+		cfg.Protocol.PollInterval = lockss.Duration(months) * lockss.Month
+		cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
+
+		res, err := lockss.Run(cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %-16.2e %3.0f of %-6.0f %-10.0f\n",
+			fmt.Sprintf("%d months", months), res.AccessFailure,
+			res.RepairsFixed, res.DamageEvents, res.Alarms)
+	}
+	fmt.Println()
+	fmt.Println("Reading the table: longer poll intervals leave bit rot undetected")
+	fmt.Println("longer, raising the probability a reader hits a damaged replica —")
+	fmt.Println("the system trades auditing effort against access reliability.")
+}

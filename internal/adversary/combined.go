@@ -1,0 +1,32 @@
+package adversary
+
+import (
+	"strings"
+
+	"lockss/internal/world"
+)
+
+// Combined installs several attack strategies at once, for studying the
+// paper's §9 question: "it could be that the adversary can use an attrition
+// attack to weaken the system in some way that leaves it more vulnerable to
+// other attack goals." All constituents share the world's single attacker
+// ledger, so cost accounting aggregates naturally.
+type Combined struct {
+	Parts []Adversary
+}
+
+// Name implements Adversary.
+func (a *Combined) Name() string {
+	names := make([]string, len(a.Parts))
+	for i, p := range a.Parts {
+		names[i] = p.Name()
+	}
+	return "combined(" + strings.Join(names, "+") + ")"
+}
+
+// Install implements Adversary.
+func (a *Combined) Install(w *world.World) {
+	for _, p := range a.Parts {
+		p.Install(w)
+	}
+}

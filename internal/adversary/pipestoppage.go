@@ -1,0 +1,36 @@
+package adversary
+
+import (
+	"fmt"
+
+	"lockss/internal/world"
+)
+
+// PipeStoppage is the effortless network-level adversary: it floods victims'
+// links (modeled as total suppression of their communication) in repeated
+// pulses. Local readers can still access content at the victims; only
+// peer-to-peer communication stops.
+type PipeStoppage struct {
+	Pulse
+}
+
+// Name implements Adversary.
+func (a *PipeStoppage) Name() string {
+	return fmt.Sprintf("pipe-stoppage(cov=%.0f%%,dur=%v)", a.Coverage*100, a.Duration)
+}
+
+// Install implements Adversary.
+func (a *PipeStoppage) Install(w *world.World) {
+	rnd := w.Root.Child("adversary/pipestoppage")
+	a.forEachPulse(w, rnd,
+		func(victims []int) {
+			for _, i := range victims {
+				w.Net.SetStopped(world.PeerIDOf(i), true)
+			}
+		},
+		func(victims []int) {
+			for _, i := range victims {
+				w.Net.SetStopped(world.PeerIDOf(i), false)
+			}
+		})
+}

@@ -1,0 +1,389 @@
+// Package content models archival units (AUs), their block-structured
+// replicas, storage damage ("bit rot"), and the block hashing that votes are
+// built from.
+//
+// Two replica implementations share the Replica interface:
+//
+//   - RealReplica holds actual bytes and hashes them with SHA-256. The real
+//     node, the examples and the integration tests use it.
+//   - SimReplica is symbolic: it tracks only which blocks differ from the
+//     publisher's correct content, as a sparse set of damage marks. At
+//     simulation scale (100 peers x 600 AUs x 0.5 GB) symbolic replicas
+//     reproduce exactly the agreement/disagreement pattern of real ones (a
+//     property test checks this equivalence) at negligible memory cost.
+//
+// Every replica carries a salt so that independent damage events produce
+// distinct corrupt content: two peers whose replicas rot at the same block
+// must disagree with each other as well as with the correct content.
+package content
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// AUID identifies an archival unit (in the target application, a year's run
+// of an on-line journal).
+type AUID uint32
+
+// Hash is a block hash. Votes carry one running hash per block boundary.
+type Hash [32]byte
+
+// AUSpec describes an archival unit's published shape.
+type AUSpec struct {
+	ID AUID
+	// Name is a human-readable title, e.g. "J. Irreproducible Results 2004".
+	Name string
+	// Size is the total content size in bytes.
+	Size int64
+	// BlockSize is the audit/repair granularity in bytes.
+	BlockSize int64
+}
+
+// Blocks returns the number of blocks in the AU.
+func (s AUSpec) Blocks() int {
+	if s.BlockSize <= 0 {
+		return 1
+	}
+	n := s.Size / s.BlockSize
+	if s.Size%s.BlockSize != 0 {
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return int(n)
+}
+
+func (s AUSpec) String() string {
+	return fmt.Sprintf("AU%d(%q %dB/%dB)", s.ID, s.Name, s.Size, s.BlockSize)
+}
+
+// Mark identifies the content variant occupying a block: zero means the
+// publisher's correct content, any other value is a distinct corruption.
+type Mark uint64
+
+// DamageEntry reports one damaged block in a replica snapshot.
+type DamageEntry struct {
+	Block int
+	Mark  Mark
+}
+
+// Replica is one peer's copy of an AU. Implementations are not safe for
+// concurrent use; in the simulator each replica belongs to one peer, and the
+// real node serializes access through its scheduler.
+type Replica interface {
+	// Spec returns the AU's shape.
+	Spec() AUSpec
+	// VoteHashes returns the running hash at each block boundary for the
+	// replica's current content, keyed by the poll nonce. This is the body
+	// of a Vote message.
+	VoteHashes(nonce []byte) []Hash
+	// Snapshot returns the replica's damaged blocks, sorted by block index.
+	// The protocol itself never consults it; symbolic votes and damage
+	// metrics do.
+	Snapshot() []DamageEntry
+	// Damage corrupts block i with fresh, replica-unique corrupt content.
+	// Out-of-range indices return false.
+	Damage(i int) bool
+	// RepairBlock returns repair data for block i suitable for ApplyRepair
+	// on another replica of the same AU.
+	RepairBlock(i int) ([]byte, error)
+	// ApplyRepair overwrites block i with repair data received from a peer.
+	ApplyRepair(i int, data []byte) error
+	// Damaged reports whether any block differs from the correct content.
+	Damaged() bool
+}
+
+// voteHash computes the running-hash chain step: H(prev || nonce || block-id
+// || payload). Both replica implementations use it so their vote hashes are
+// interchangeable.
+func voteHash(prev Hash, nonce []byte, au AUID, block int, payload []byte) Hash {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(nonce)
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(au))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(block))
+	h.Write(hdr[:])
+	h.Write(payload)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// correctPayload derives the publisher's canonical content token for a
+// block. SimReplica hashes short tokens instead of half-gigabyte blocks; the
+// hashing *cost* is charged separately by the effort model.
+func correctPayload(au AUID, block int) []byte {
+	var b [13]byte
+	b[0] = 'C'
+	binary.BigEndian.PutUint32(b[1:5], uint32(au))
+	binary.BigEndian.PutUint64(b[5:13], uint64(block))
+	return b[:]
+}
+
+// damagedPayload derives the token for a damaged block variant.
+func damagedPayload(au AUID, block int, mark Mark) []byte {
+	var b [21]byte
+	b[0] = 'X'
+	binary.BigEndian.PutUint32(b[1:5], uint32(au))
+	binary.BigEndian.PutUint64(b[5:13], uint64(block))
+	binary.BigEndian.PutUint64(b[13:21], uint64(mark))
+	return b[:]
+}
+
+// SimReplica is the symbolic replica used at simulation scale.
+type SimReplica struct {
+	spec AUSpec
+	salt uint64
+	// damaged maps block index -> damage mark (non-zero).
+	damaged map[int]Mark
+	// events counts local damage events to derive fresh marks.
+	events uint32
+}
+
+// NewSimReplica returns a correct (undamaged) symbolic replica. The salt
+// must be unique per (peer, AU) so that independent corruption events yield
+// distinct content.
+func NewSimReplica(spec AUSpec, salt uint64) *SimReplica {
+	return &SimReplica{spec: spec, salt: salt, damaged: make(map[int]Mark)}
+}
+
+// Spec implements Replica.
+func (r *SimReplica) Spec() AUSpec { return r.spec }
+
+// payload returns the content token for block i.
+func (r *SimReplica) payload(i int) []byte {
+	if m, ok := r.damaged[i]; ok {
+		return damagedPayload(r.spec.ID, i, m)
+	}
+	return correctPayload(r.spec.ID, i)
+}
+
+// VoteHashes implements Replica.
+func (r *SimReplica) VoteHashes(nonce []byte) []Hash {
+	n := r.spec.Blocks()
+	out := make([]Hash, n)
+	var prev Hash
+	for i := 0; i < n; i++ {
+		prev = voteHash(prev, nonce, r.spec.ID, i, r.payload(i))
+		out[i] = prev
+	}
+	return out
+}
+
+// Snapshot implements Replica.
+func (r *SimReplica) Snapshot() []DamageEntry {
+	out := make([]DamageEntry, 0, len(r.damaged))
+	for i, m := range r.damaged {
+		out = append(out, DamageEntry{Block: i, Mark: m})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Block < out[b].Block })
+	return out
+}
+
+// freshMark derives a new replica-unique damage mark.
+func (r *SimReplica) freshMark() Mark {
+	r.events++
+	m := Mark(r.salt<<20 | uint64(r.events))
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// Damage implements Replica. Damaging an already-damaged block re-corrupts
+// it with fresh content.
+func (r *SimReplica) Damage(i int) bool {
+	if i < 0 || i >= r.spec.Blocks() {
+		return false
+	}
+	r.damaged[i] = r.freshMark()
+	return true
+}
+
+// RepairBlock implements Replica: the repair payload is the block's current
+// content token (correct if the supplier is undamaged at i).
+func (r *SimReplica) RepairBlock(i int) ([]byte, error) {
+	if i < 0 || i >= r.spec.Blocks() {
+		return nil, fmt.Errorf("content: repair block %d out of range for %v", i, r.spec)
+	}
+	p := r.payload(i)
+	out := make([]byte, len(p))
+	copy(out, p)
+	return out, nil
+}
+
+// ApplyRepair implements Replica. Applying the canonical correct payload
+// clears the damage mark; applying a corrupt payload records its mark (a
+// damaged supplier propagates corruption — the protocol guards against this
+// with landslide majorities and repair re-evaluation, not the replica).
+func (r *SimReplica) ApplyRepair(i int, data []byte) error {
+	if i < 0 || i >= r.spec.Blocks() {
+		return fmt.Errorf("content: repair block %d out of range for %v", i, r.spec)
+	}
+	if string(data) == string(correctPayload(r.spec.ID, i)) {
+		delete(r.damaged, i)
+		return nil
+	}
+	if len(data) == 21 && data[0] == 'X' {
+		r.damaged[i] = Mark(binary.BigEndian.Uint64(data[13:21]))
+		return nil
+	}
+	return fmt.Errorf("content: malformed symbolic repair payload for block %d", i)
+}
+
+// Damaged implements Replica.
+func (r *SimReplica) Damaged() bool { return len(r.damaged) > 0 }
+
+// RealReplica holds actual content bytes.
+type RealReplica struct {
+	spec   AUSpec
+	salt   uint64
+	events uint32
+	data   []byte
+	// damaged tracks which blocks were corrupted and with what mark, so
+	// Snapshot need not diff against the canonical content.
+	damaged map[int]Mark
+}
+
+// NewRealReplica materializes the publisher's canonical content for spec:
+// deterministic pseudo-random bytes derived from the AU ID, so every peer
+// starting from the publisher holds identical bytes. The salt individualizes
+// corruption, exactly as for SimReplica.
+func NewRealReplica(spec AUSpec, salt uint64) *RealReplica {
+	data := make([]byte, spec.Size)
+	var seed [8]byte
+	binary.BigEndian.PutUint32(seed[:4], uint32(spec.ID))
+	fill := sha256.Sum256(seed[:])
+	for off := 0; off < len(data); {
+		n := copy(data[off:], fill[:])
+		off += n
+		fill = sha256.Sum256(fill[:])
+	}
+	return &RealReplica{spec: spec, salt: salt, data: data, damaged: make(map[int]Mark)}
+}
+
+// Spec implements Replica.
+func (r *RealReplica) Spec() AUSpec { return r.spec }
+
+// block returns the byte range of block i.
+func (r *RealReplica) block(i int) []byte {
+	lo := int64(i) * r.spec.BlockSize
+	hi := lo + r.spec.BlockSize
+	if hi > r.spec.Size {
+		hi = r.spec.Size
+	}
+	return r.data[lo:hi]
+}
+
+// canonicalBlock regenerates the publisher's bytes for block i.
+func (r *RealReplica) canonicalBlock(i int) []byte {
+	// Regenerate only the needed range by replaying the fill stream.
+	lo := int64(i) * r.spec.BlockSize
+	hi := lo + r.spec.BlockSize
+	if hi > r.spec.Size {
+		hi = r.spec.Size
+	}
+	var seed [8]byte
+	binary.BigEndian.PutUint32(seed[:4], uint32(r.spec.ID))
+	fill := sha256.Sum256(seed[:])
+	out := make([]byte, hi-lo)
+	for off := int64(0); off < hi; {
+		chunk := fill[:]
+		for _, c := range chunk {
+			if off >= hi {
+				break
+			}
+			if off >= lo {
+				out[off-lo] = c
+			}
+			off++
+		}
+		fill = sha256.Sum256(fill[:])
+	}
+	return out
+}
+
+// VoteHashes implements Replica.
+func (r *RealReplica) VoteHashes(nonce []byte) []Hash {
+	n := r.spec.Blocks()
+	out := make([]Hash, n)
+	var prev Hash
+	for i := 0; i < n; i++ {
+		prev = voteHash(prev, nonce, r.spec.ID, i, r.block(i))
+		out[i] = prev
+	}
+	return out
+}
+
+// Snapshot implements Replica.
+func (r *RealReplica) Snapshot() []DamageEntry {
+	out := make([]DamageEntry, 0, len(r.damaged))
+	for i, m := range r.damaged {
+		out = append(out, DamageEntry{Block: i, Mark: m})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Block < out[b].Block })
+	return out
+}
+
+// Damage implements Replica by overwriting block i with replica-unique
+// pseudo-random corruption.
+func (r *RealReplica) Damage(i int) bool {
+	if i < 0 || i >= r.spec.Blocks() {
+		return false
+	}
+	r.events++
+	mark := Mark(r.salt<<20 | uint64(r.events))
+	if mark == 0 {
+		mark = 1
+	}
+	b := r.block(i)
+	var seed [16]byte
+	binary.BigEndian.PutUint64(seed[0:8], uint64(mark))
+	binary.BigEndian.PutUint64(seed[8:16], uint64(i))
+	fill := sha256.Sum256(seed[:])
+	for off := 0; off < len(b); {
+		n := copy(b[off:], fill[:])
+		off += n
+		fill = sha256.Sum256(fill[:])
+	}
+	r.damaged[i] = mark
+	return true
+}
+
+// RepairBlock implements Replica.
+func (r *RealReplica) RepairBlock(i int) ([]byte, error) {
+	if i < 0 || i >= r.spec.Blocks() {
+		return nil, fmt.Errorf("content: repair block %d out of range for %v", i, r.spec)
+	}
+	b := r.block(i)
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// ApplyRepair implements Replica.
+func (r *RealReplica) ApplyRepair(i int, data []byte) error {
+	if i < 0 || i >= r.spec.Blocks() {
+		return fmt.Errorf("content: repair block %d out of range for %v", i, r.spec)
+	}
+	b := r.block(i)
+	if len(data) != len(b) {
+		return fmt.Errorf("content: repair for block %d has %d bytes, want %d", i, len(data), len(b))
+	}
+	copy(b, data)
+	if string(data) == string(r.canonicalBlock(i)) {
+		delete(r.damaged, i)
+	} else {
+		r.events++
+		r.damaged[i] = Mark(r.salt<<20 | uint64(r.events))
+	}
+	return nil
+}
+
+// Damaged implements Replica.
+func (r *RealReplica) Damaged() bool { return len(r.damaged) > 0 }

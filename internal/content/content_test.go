@@ -1,0 +1,267 @@
+package content
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"lockss/internal/prng"
+)
+
+func testSpec() AUSpec {
+	return AUSpec{ID: 7, Name: "test", Size: 4096, BlockSize: 1024}
+}
+
+func TestBlocksCount(t *testing.T) {
+	cases := []struct {
+		size, block int64
+		want        int
+	}{
+		{4096, 1024, 4},
+		{4097, 1024, 5},
+		{100, 1024, 1},
+		{0, 1024, 1},
+		{4096, 0, 1},
+	}
+	for _, c := range cases {
+		s := AUSpec{Size: c.size, BlockSize: c.block}
+		if got := s.Blocks(); got != c.want {
+			t.Errorf("Blocks(%d/%d) = %d, want %d", c.size, c.block, got, c.want)
+		}
+	}
+}
+
+func TestSimReplicaDamageRepair(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	if r.Damaged() {
+		t.Fatal("fresh replica damaged")
+	}
+	if r.Damage(99) {
+		t.Error("out-of-range damage accepted")
+	}
+	if !r.Damage(2) {
+		t.Fatal("damage failed")
+	}
+	if !r.Damaged() || len(r.Snapshot()) != 1 || r.Snapshot()[0].Block != 2 {
+		t.Fatalf("snapshot wrong: %v", r.Snapshot())
+	}
+	// Repair from a correct peer replica.
+	good := NewSimReplica(testSpec(), 2)
+	data, err := good.RepairBlock(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ApplyRepair(2, data); err != nil {
+		t.Fatal(err)
+	}
+	if r.Damaged() {
+		t.Error("repair did not clear damage")
+	}
+}
+
+func TestSimReplicaCorruptRepairPropagates(t *testing.T) {
+	a := NewSimReplica(testSpec(), 1)
+	b := NewSimReplica(testSpec(), 2)
+	b.Damage(3)
+	data, _ := b.RepairBlock(3)
+	if err := a.ApplyRepair(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Damaged() {
+		t.Error("corrupt repair should leave the recipient damaged")
+	}
+	// And the two corrupt replicas agree with each other at that block.
+	if a.Snapshot()[0].Mark != b.Snapshot()[0].Mark {
+		t.Error("propagated corruption should carry the same mark")
+	}
+}
+
+func TestDistinctSaltsDistinctCorruption(t *testing.T) {
+	a := NewSimReplica(testSpec(), 1)
+	b := NewSimReplica(testSpec(), 2)
+	a.Damage(0)
+	b.Damage(0)
+	if a.Snapshot()[0].Mark == b.Snapshot()[0].Mark {
+		t.Error("independent corruption events share a mark")
+	}
+}
+
+func TestSimVoteHashesChangeWithDamage(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	nonce := []byte("nonce")
+	before := r.VoteHashes(nonce)
+	if len(before) != 4 {
+		t.Fatalf("hash count %d", len(before))
+	}
+	r.Damage(1)
+	after := r.VoteHashes(nonce)
+	if before[0] != after[0] {
+		t.Error("hash before the damaged block changed")
+	}
+	for i := 1; i < 4; i++ {
+		if before[i] == after[i] {
+			t.Errorf("running hash %d unchanged after damage at 1", i)
+		}
+	}
+}
+
+func TestVoteHashesNonceDependence(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	a := r.VoteHashes([]byte("n1"))
+	b := r.VoteHashes([]byte("n2"))
+	if a[0] == b[0] {
+		t.Error("different nonces produce identical hashes")
+	}
+}
+
+func TestRealReplicaBasics(t *testing.T) {
+	r := NewRealReplica(testSpec(), 1)
+	if r.Damaged() {
+		t.Fatal("fresh real replica damaged")
+	}
+	q := NewRealReplica(testSpec(), 2)
+	// Same publisher content regardless of salt.
+	if !bytes.Equal(mustRepair(t, r, 0), mustRepair(t, q, 0)) {
+		t.Fatal("publisher content differs between replicas")
+	}
+	if !r.Damage(1) {
+		t.Fatal("damage failed")
+	}
+	if !r.Damaged() {
+		t.Fatal("damage not detected")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Block != 1 {
+		t.Fatalf("snapshot %v", snap)
+	}
+	// Repair from the intact replica.
+	if err := r.ApplyRepair(1, mustRepair(t, q, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Damaged() {
+		t.Error("repair did not restore content")
+	}
+	// Wrong-size repair rejected.
+	if err := r.ApplyRepair(1, []byte("short")); err == nil {
+		t.Error("short repair accepted")
+	}
+}
+
+func mustRepair(t *testing.T, r Replica, block int) []byte {
+	t.Helper()
+	data, err := r.RepairBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestRealReplicaCorruptRepairDetected(t *testing.T) {
+	a := NewRealReplica(testSpec(), 1)
+	b := NewRealReplica(testSpec(), 2)
+	b.Damage(2)
+	if err := a.ApplyRepair(2, mustRepair(t, b, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Damaged() {
+		t.Error("corrupt real repair should leave recipient damaged")
+	}
+}
+
+func TestRealDamageDistinctContent(t *testing.T) {
+	a := NewRealReplica(testSpec(), 1)
+	b := NewRealReplica(testSpec(), 2)
+	a.Damage(0)
+	b.Damage(0)
+	if bytes.Equal(mustRepair(t, a, 0), mustRepair(t, b, 0)) {
+		t.Error("independent real corruption produced identical bytes")
+	}
+}
+
+// TestRealSimHashEquivalencePattern: under identical damage patterns, the
+// real and symbolic replicas produce the same agreement/disagreement
+// structure (which running hashes match between two peers), even though the
+// hash values themselves differ.
+func TestRealSimHashEquivalencePattern(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rnd := prng.New(seed)
+		spec := testSpec()
+		nonce := []byte("n")
+
+		simA, simB := NewSimReplica(spec, 1), NewSimReplica(spec, 2)
+		realA, realB := NewRealReplica(spec, 1), NewRealReplica(spec, 2)
+
+		// Apply the same random damage to both representations.
+		for i := 0; i < 3; i++ {
+			if rnd.Bool(0.5) {
+				b := rnd.Intn(spec.Blocks())
+				simA.Damage(b)
+				realA.Damage(b)
+			}
+			if rnd.Bool(0.5) {
+				b := rnd.Intn(spec.Blocks())
+				simB.Damage(b)
+				realB.Damage(b)
+			}
+		}
+		simHA, simHB := simA.VoteHashes(nonce), simB.VoteHashes(nonce)
+		realHA, realHB := realA.VoteHashes(nonce), realB.VoteHashes(nonce)
+		for i := range simHA {
+			simAgree := simHA[i] == simHB[i]
+			realAgree := realHA[i] == realHB[i]
+			if simAgree != realAgree {
+				t.Logf("block %d: sim agree=%v real agree=%v", i, simAgree, realAgree)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepairBlockOutOfRange(t *testing.T) {
+	for _, r := range []Replica{NewSimReplica(testSpec(), 1), NewRealReplica(testSpec(), 1)} {
+		if _, err := r.RepairBlock(-1); err == nil {
+			t.Errorf("%T: negative block accepted", r)
+		}
+		if _, err := r.RepairBlock(4); err == nil {
+			t.Errorf("%T: out-of-range block accepted", r)
+		}
+		if err := r.ApplyRepair(9, nil); err == nil {
+			t.Errorf("%T: out-of-range repair accepted", r)
+		}
+	}
+}
+
+func TestRedamageFreshMark(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	r.Damage(0)
+	m1 := r.Snapshot()[0].Mark
+	r.Damage(0)
+	m2 := r.Snapshot()[0].Mark
+	if m1 == m2 {
+		t.Error("re-damage should produce fresh corruption")
+	}
+}
+
+func TestLastPartialBlock(t *testing.T) {
+	spec := AUSpec{ID: 1, Name: "partial", Size: 2500, BlockSize: 1024}
+	r := NewRealReplica(spec, 1)
+	if spec.Blocks() != 3 {
+		t.Fatalf("blocks = %d", spec.Blocks())
+	}
+	data := mustRepair(t, r, 2)
+	if len(data) != 2500-2048 {
+		t.Errorf("partial block size %d", len(data))
+	}
+	r.Damage(2)
+	q := NewRealReplica(spec, 2)
+	if err := r.ApplyRepair(2, mustRepair(t, q, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Damaged() {
+		t.Error("partial block repair failed")
+	}
+}

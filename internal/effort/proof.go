@@ -1,0 +1,54 @@
+package effort
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Proof is a proof of computational effort attached to a protocol message.
+// The simulator uses SimProof (a claimed cost plus a validity bit, charged
+// against the sender's schedule); the real node uses MBFProof.
+type Proof interface {
+	// Cost is the effort the prover claims to have expended.
+	Cost() Seconds
+	// Valid reports whether the proof checks out for the given binding
+	// context (poller, voter, poll nonce...). Verification cost is charged
+	// separately by the caller using CostModel.VerifyCost.
+	Valid(context []byte) bool
+}
+
+// SimProof is the simulator's symbolic proof of effort. Generating one in
+// the simulator charges the claimed cost to the sender; Valid is a recorded
+// fact rather than a cryptographic check.
+type SimProof struct {
+	Effort  Seconds
+	Genuine bool
+}
+
+// Cost implements Proof.
+func (p SimProof) Cost() Seconds { return p.Effort }
+
+// Valid implements Proof.
+func (p SimProof) Valid([]byte) bool { return p.Genuine }
+
+// Receipt is the 160-bit unforgeable byproduct of generating a proof of
+// effort. The voter remembers it when generating the vote's effort proof;
+// the poller can only learn it by actually evaluating the vote, and returns
+// it in the EvaluationReceipt message (§5.1, "wasteful" attacks).
+type Receipt [20]byte
+
+// simReceipt derives the deterministic receipt for a simulated proof bound
+// to a context. Both sides of a simulated exchange can derive it, which
+// models "the poller performed the necessary effort" without simulating the
+// MBF bit-for-bit.
+func SimReceiptFor(context []byte, effort Seconds) Receipt {
+	h := sha256.New()
+	h.Write([]byte("lockss/sim-receipt"))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(float64(effort)*1e6))
+	h.Write(buf[:])
+	h.Write(context)
+	var r Receipt
+	copy(r[:], h.Sum(nil))
+	return r
+}

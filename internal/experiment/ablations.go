@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lockss/internal/adversary"
+	"lockss/internal/sched"
+	"lockss/internal/sim"
+)
+
+// Ablation experiments probe the design choices DESIGN.md calls out. Each
+// returns a Table in the same style as the paper figures.
+
+// AblationRefractory sweeps the refractory period under a sustained
+// full-coverage admission-control flood.
+func AblationRefractory(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablation A1",
+		Title:   "Refractory period under sustained admission-control flood",
+		Columns: []string{"refractory(days)", "access-failure", "delay-ratio", "coeff-friction"},
+	}
+	for _, days := range []float64{0.25, 0.5, 1, 2, 4} {
+		cfg := o.baseWorld()
+		cfg.Protocol.Refractory = sched.Duration(days * float64(sim.Day))
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
+			}}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		t.AddRow(fmt.Sprintf("%.2f", days), fmtProb(attack.AccessFailure),
+			fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
+		o.progress("ablation/refractory %gd afp=%s", days, fmtProb(attack.AccessFailure))
+	}
+	t.Notes = append(t.Notes,
+		"longer refractory periods shield busier peers but slow discovery (§9 of the paper)")
+	return t, nil
+}
+
+// AblationDropProb sweeps the unknown/in-debt drop probabilities under the
+// brute-force REMAINING attack.
+func AblationDropProb(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablation A2",
+		Title:   "Drop probabilities vs brute-force REMAINING attack",
+		Columns: []string{"drop-unknown", "drop-debt", "cost-ratio", "coeff-friction"},
+	}
+	for _, p := range []struct{ unknown, debt float64 }{
+		{0.50, 0.40}, {0.80, 0.60}, {0.90, 0.80}, {0.95, 0.90},
+	} {
+		cfg := o.baseWorld()
+		cfg.Protocol.DropUnknown = p.unknown
+		cfg.Protocol.DropDebt = p.debt
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		t.AddRow(fmt.Sprintf("%.2f", p.unknown), fmt.Sprintf("%.2f", p.debt),
+			fmtRatio(cmp.CostRatio), fmtRatio(cmp.Friction))
+		o.progress("ablation/drop %.2f/%.2f cost=%s", p.unknown, p.debt, fmtRatio(cmp.CostRatio))
+	}
+	t.Notes = append(t.Notes,
+		"higher drop probabilities force the attacker to spend more introductory effort per admission")
+	return t, nil
+}
+
+// AblationIntroductions toggles peer introductions under a sustained
+// admission flood and reports discovery health (successful polls, friction).
+func AblationIntroductions(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablation A3",
+		Title:   "Peer introductions on/off under sustained admission-control flood",
+		Columns: []string{"introductions", "polls-ok", "delay-ratio", "coeff-friction"},
+	}
+	for _, enabled := range []bool{true, false} {
+		cfg := o.baseWorld()
+		cfg.Protocol.Introductions = enabled
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
+			}}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		t.AddRow(fmt.Sprintf("%v", enabled), fmt.Sprintf("%.0f", attack.SuccessfulPolls),
+			fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
+		o.progress("ablation/intros=%v polls=%.0f", enabled, attack.SuccessfulPolls)
+	}
+	t.Notes = append(t.Notes,
+		"introductions let loyal-but-unknown pollers bypass refractory periods the flood keeps triggered")
+	return t, nil
+}
+
+// AblationDesynchronization toggles desynchronized vote solicitation and
+// reports poll health, absent and under attack (§5.2's rendezvous problem).
+func AblationDesynchronization(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablation A4",
+		Title:   "Desynchronization on/off (baseline and brute-force REMAINING)",
+		Columns: []string{"desync", "scenario", "polls-ok", "polls-total", "mean-gap(days)"},
+	}
+	for _, enabled := range []bool{true, false} {
+		cfg := o.baseWorld()
+		cfg.Protocol.Desynchronize = enabled
+		// The §5.2 rendezvous problem only bites when peers are busy:
+		// slow the reference machine's hashing so votes take hours, as
+		// they would with hundreds of concurrent AUs.
+		cfg.HashBytesPerSec = 4 << 10
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%v", enabled), "baseline",
+			fmt.Sprintf("%.0f", baseline.SuccessfulPolls),
+			fmt.Sprintf("%.0f", baseline.TotalPolls),
+			fmt.Sprintf("%.1f", baseline.MeanSuccessGap))
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%v", enabled), "brute-force",
+			fmt.Sprintf("%.0f", attack.SuccessfulPolls),
+			fmt.Sprintf("%.0f", attack.TotalPolls),
+			fmt.Sprintf("%.1f", attack.MeanSuccessGap))
+		o.progress("ablation/desync=%v ok=%.0f/%.0f", enabled, attack.SuccessfulPolls, attack.TotalPolls)
+	}
+	t.Notes = append(t.Notes,
+		"synchronous solicitation needs a quorum of simultaneously free voters; busyness then collapses polls (§5.2)")
+	return t, nil
+}
+
+// AblationEffortBalancing toggles effort balancing under the brute-force
+// NONE attack, showing the attacker's cost collapsing when requests are
+// cheap.
+func AblationEffortBalancing(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablation A5",
+		Title:   "Effort balancing on/off under brute-force NONE attack",
+		Columns: []string{"effort-balancing", "attacker-effort", "defender-effort", "cost-ratio", "coeff-friction"},
+	}
+	for _, enabled := range []bool{true, false} {
+		cfg := o.baseWorld()
+		cfg.Protocol.EffortBalancing = enabled
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.BruteForce{Defection: adversary.DefectNone}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		t.AddRow(fmt.Sprintf("%v", enabled),
+			fmt.Sprintf("%.0f", attack.AttackerEffort),
+			fmt.Sprintf("%.0f", attack.DefenderEffort),
+			fmtRatio(cmp.CostRatio), fmtRatio(cmp.Friction))
+		o.progress("ablation/effort=%v cost=%s", enabled, fmtRatio(cmp.CostRatio))
+	}
+	t.Notes = append(t.Notes,
+		"without effort balancing the attacker imposes defender work at near-zero cost to itself")
+	return t, nil
+}

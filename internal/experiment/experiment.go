@@ -1,0 +1,235 @@
+// Package experiment runs the paper's evaluation: baseline and attack
+// scenarios, multi-seed averaging, the 600-AU layering technique, and one
+// generator per figure/table of §7.
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"lockss/internal/adversary"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// RunStats are the raw per-run ingredients of the paper's metrics, averaged
+// across seeds.
+type RunStats struct {
+	// AccessFailure is the time-averaged fraction of damaged replicas.
+	AccessFailure float64
+	// MeanSuccessGap is the mean time between successful polls on a
+	// replica, in days; math.Inf(1) when no gaps were observed.
+	MeanSuccessGap float64
+	// SuccessfulPolls counts successful polls.
+	SuccessfulPolls float64
+	// TotalPolls counts all concluded polls.
+	TotalPolls float64
+	// DefenderEffort is total loyal effort in effort-seconds.
+	DefenderEffort float64
+	// AttackerEffort is total adversary effort in effort-seconds.
+	AttackerEffort float64
+	// EffortPerPoll is DefenderEffort / SuccessfulPolls.
+	EffortPerPoll float64
+	// Alarms counts inconclusive-poll alarms.
+	Alarms float64
+	// DamageEvents and RepairsFixed count the damage process.
+	DamageEvents float64
+	RepairsFixed float64
+}
+
+// Comparison relates an attack run to its baseline, yielding the paper's
+// four metrics (§6.1).
+type Comparison struct {
+	Attack   RunStats
+	Baseline RunStats
+	// DelayRatio = attack mean success gap / baseline mean success gap.
+	DelayRatio float64
+	// Friction = attack effort-per-successful-poll / baseline.
+	Friction float64
+	// CostRatio = attacker effort / defender effort, during the attack run.
+	CostRatio float64
+}
+
+// RunOne executes a single seeded run and extracts stats. mkAttack may be
+// nil for a baseline.
+func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
+	w, err := world.New(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if mkAttack != nil {
+		mkAttack().Install(w)
+	}
+	w.Run()
+	m := w.Metrics
+	var s RunStats
+	s.AccessFailure = m.AccessFailureProbability()
+	if gap, ok := m.MeanSuccessInterval(); ok {
+		s.MeanSuccessGap = gap / float64(sim.Day)
+	} else {
+		s.MeanSuccessGap = math.Inf(1)
+	}
+	s.SuccessfulPolls = float64(m.SuccessfulPolls())
+	s.TotalPolls = float64(m.TotalPolls())
+	s.DefenderEffort = float64(w.DefenderEffort())
+	s.AttackerEffort = float64(w.AdversaryLedger.Total)
+	if s.SuccessfulPolls > 0 {
+		s.EffortPerPoll = s.DefenderEffort / s.SuccessfulPolls
+	}
+	s.Alarms = float64(m.Alarms)
+	s.DamageEvents = float64(m.DamageEvents)
+	s.RepairsFixed = float64(m.RepairsFixed)
+	return s, nil
+}
+
+// average combines runs arithmetically (Inf gaps propagate).
+func average(runs []RunStats) RunStats {
+	var out RunStats
+	n := float64(len(runs))
+	if n == 0 {
+		return out
+	}
+	for _, r := range runs {
+		out.AccessFailure += r.AccessFailure / n
+		out.MeanSuccessGap += r.MeanSuccessGap / n
+		out.SuccessfulPolls += r.SuccessfulPolls / n
+		out.TotalPolls += r.TotalPolls / n
+		out.DefenderEffort += r.DefenderEffort / n
+		out.AttackerEffort += r.AttackerEffort / n
+		out.EffortPerPoll += r.EffortPerPoll / n
+		out.Alarms += r.Alarms / n
+		out.DamageEvents += r.DamageEvents / n
+		out.RepairsFixed += r.RepairsFixed / n
+	}
+	return out
+}
+
+// RunAveraged executes seeds runs with consecutive seeds and averages.
+func RunAveraged(cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	runs := make([]RunStats, 0, seeds)
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*1_000_003
+		r, err := RunOne(c, mkAttack)
+		if err != nil {
+			return RunStats{}, err
+		}
+		runs = append(runs, r)
+	}
+	return average(runs), nil
+}
+
+// Compare derives the paper's ratio metrics.
+func Compare(attack, baseline RunStats) Comparison {
+	c := Comparison{Attack: attack, Baseline: baseline}
+	if baseline.MeanSuccessGap > 0 && !math.IsInf(attack.MeanSuccessGap, 1) {
+		c.DelayRatio = attack.MeanSuccessGap / baseline.MeanSuccessGap
+	} else if math.IsInf(attack.MeanSuccessGap, 1) {
+		c.DelayRatio = math.Inf(1)
+	}
+	if baseline.EffortPerPoll > 0 {
+		c.Friction = attack.EffortPerPoll / baseline.EffortPerPoll
+	}
+	if attack.DefenderEffort > 0 {
+		c.CostRatio = attack.AttackerEffort / attack.DefenderEffort
+	}
+	return c
+}
+
+// Scale selects the fidelity/runtime trade-off for figure generation.
+type Scale int
+
+const (
+	// ScaleTiny: seconds per figure; for benchmarks and CI. Shapes hold but
+	// variance is high.
+	ScaleTiny Scale = iota
+	// ScaleSmall: minutes per figure; the CLI default.
+	ScaleSmall
+	// ScalePaper: the paper's §6.3 operating point; expect long runtimes.
+	ScalePaper
+)
+
+func (s Scale) String() string {
+	switch s {
+	case ScaleTiny:
+		return "tiny"
+	case ScaleSmall:
+		return "small"
+	case ScalePaper:
+		return "paper"
+	}
+	return "invalid"
+}
+
+// Options configures figure generation.
+type Options struct {
+	Scale Scale
+	// Seeds overrides the scale's default seed count when positive.
+	Seeds int
+	// BaseSeed offsets all run seeds.
+	BaseSeed uint64
+	// Progress, if non-nil, receives one line per completed data point.
+	Progress func(format string, args ...any)
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+func (o Options) seeds() int {
+	if o.Seeds > 0 {
+		return o.Seeds
+	}
+	switch o.Scale {
+	case ScalePaper:
+		return 3
+	case ScaleSmall:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// baseWorld returns the population config for the scale.
+func (o Options) baseWorld() world.Config {
+	cfg := world.Default()
+	cfg.Seed = 1 + o.BaseSeed
+	switch o.Scale {
+	case ScalePaper:
+		// Paper §6.3: 100 peers, 50 AUs/layer, 0.5 GB AUs, 2 years.
+	case ScaleSmall:
+		cfg.Peers = 40
+		cfg.AUs = 10
+		cfg.AUSize = 256 << 20
+		cfg.Duration = 2 * sim.Year
+	default: // ScaleTiny
+		cfg.Peers = 25
+		cfg.AUs = 4
+		cfg.AUSize = 64 << 20
+		cfg.Duration = 1 * sim.Year
+	}
+	return cfg
+}
+
+// layersFor returns how many 1x-AU layers represent the "large collection"
+// (600 AUs in the paper) at this scale.
+func (o Options) layersFor() int {
+	switch o.Scale {
+	case ScalePaper:
+		return 12 // 12 x 50 = 600 AUs
+	case ScaleSmall:
+		return 4
+	default:
+		return 3
+	}
+}
+
+// fmtSeries formats a coverage fraction as the paper's series label.
+func fmtSeries(coverage float64) string {
+	return fmt.Sprintf("%.0f%%", coverage*100)
+}

@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"lockss/internal/adversary"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// Extension experiments beyond the paper's evaluation, covering its §9
+// future-work agenda: dynamic populations (churn) and adaptive acceptance.
+
+// ChurnResult captures one churn scenario's outcome.
+type ChurnResult struct {
+	Scenario        string
+	Joined          float64
+	Integrated      float64
+	NewcomerPollsOK float64
+	NewcomerVotes   float64
+	AccessFailure   float64
+}
+
+// runChurn executes one seeded churn run.
+func runChurn(cfg world.Config, churn world.Churn, mkAttack func() adversary.Adversary) (ChurnResult, error) {
+	w, err := world.New(cfg)
+	if err != nil {
+		return ChurnResult{}, err
+	}
+	stats := w.EnableChurn(churn)
+	if mkAttack != nil {
+		mkAttack().Install(w)
+	}
+	w.Run()
+	return ChurnResult{
+		Joined:          float64(stats.Joined),
+		Integrated:      float64(stats.Integrated),
+		NewcomerPollsOK: float64(stats.NewcomerPollsOK),
+		NewcomerVotes:   float64(stats.NewcomerVotes),
+		AccessFailure:   w.Metrics.AccessFailureProbability(),
+	}, nil
+}
+
+// ExtensionChurn studies newcomers joining a running network, absent attack
+// and under a sustained admission-control flood (which keeps victims'
+// refractory periods triggered — exactly the condition that makes cold
+// integration hard and that introductions were designed to relieve).
+func ExtensionChurn(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Extension E1",
+		Title: "Dynamic population: newcomers joining over time (§9 future work)",
+		Columns: []string{"scenario", "joined", "integrated", "newcomer-polls-ok",
+			"newcomer-votes", "access-failure"},
+	}
+	cfg := o.baseWorld()
+	cfg.DamageDiskYears = 5
+	churn := world.Churn{JoinPerYear: 8, MaxJoins: 8, FriendsPerJoiner: 4}
+	if o.Scale == ScalePaper {
+		churn = world.Churn{JoinPerYear: 12, MaxJoins: 20, FriendsPerJoiner: 5}
+	}
+
+	scenarios := []struct {
+		name string
+		mk   func() adversary.Adversary
+	}{
+		{"no attack", nil},
+		{"admission flood", func() adversary.Adversary {
+			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
+			}}
+		}},
+	}
+	for _, sc := range scenarios {
+		var acc ChurnResult
+		seeds := o.seeds()
+		for s := 0; s < seeds; s++ {
+			c := cfg
+			c.Seed = cfg.Seed + uint64(s)*1_000_003
+			r, err := runChurn(c, churn, sc.mk)
+			if err != nil {
+				return nil, err
+			}
+			acc.Joined += r.Joined / float64(seeds)
+			acc.Integrated += r.Integrated / float64(seeds)
+			acc.NewcomerPollsOK += r.NewcomerPollsOK / float64(seeds)
+			acc.NewcomerVotes += r.NewcomerVotes / float64(seeds)
+			acc.AccessFailure += r.AccessFailure / float64(seeds)
+		}
+		t.AddRow(sc.name, fmt.Sprintf("%.1f", acc.Joined), fmt.Sprintf("%.1f", acc.Integrated),
+			fmt.Sprintf("%.0f", acc.NewcomerPollsOK), fmt.Sprintf("%.0f", acc.NewcomerVotes),
+			fmtProb(acc.AccessFailure))
+		o.progress("churn %s joined=%.1f integrated=%.1f", sc.name, acc.Joined, acc.Integrated)
+	}
+	t.Notes = append(t.Notes,
+		"newcomers integrate through mutual friends, discovery nominations and introductions",
+		"the admission flood slows but does not prevent integration (friends bypass the refractory period)")
+	return t, nil
+}
+
+// ExtensionAdaptive evaluates §9's adaptive-acceptance idea against the
+// brute-force REMAINING attack: victims modulate acceptance of unknown/
+// in-debt invitations by recent busyness.
+func ExtensionAdaptive(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Extension E2",
+		Title: "Adaptive acceptance vs brute-force REMAINING (§9 future work)",
+		Columns: []string{"adaptive", "coeff-friction", "cost-ratio", "delay-ratio",
+			"victim-votes-wasted"},
+	}
+	for _, enabled := range []bool{false, true} {
+		cfg := o.baseWorld()
+		cfg.Protocol.AdaptiveAcceptance = enabled
+		cfg.Protocol.AdaptiveGain = 5
+		// Adaptive acceptance is keyed on busyness; make compute expensive
+		// (as with very large collections) so busyness is a real signal.
+		cfg.HashBytesPerSec = 16 << 10
+		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
+		}, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		wasted := attack.DefenderEffort - baseline.DefenderEffort
+		if wasted < 0 || math.IsNaN(wasted) {
+			wasted = 0
+		}
+		t.AddRow(fmt.Sprintf("%v", enabled), fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio),
+			fmtRatio(cmp.DelayRatio), fmt.Sprintf("%.0f", wasted))
+		o.progress("adaptive=%v friction=%s", enabled, fmtRatio(cmp.Friction))
+	}
+	t.Notes = append(t.Notes,
+		"adaptive acceptance raises the attacker's marginal cost of keeping victims busy (§9)")
+	return t, nil
+}
+
+// ExtensionCombined studies §9's third question: does an attrition attack
+// compose with another to weaken the system more than either alone? We pair
+// a pipe stoppage (softening communication) with a brute-force REMAINING
+// attacker (draining compute) and compare against each in isolation.
+func ExtensionCombined(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Extension E3",
+		Title: "Combined adversary strategies (§9 future work)",
+		Columns: []string{"attack", "access-failure", "delay-ratio", "coeff-friction",
+			"polls-ok"},
+	}
+	cfg := o.baseWorld()
+	cfg.DamageDiskYears = 1 // strong damage signal
+
+	baseline, err := RunAveraged(cfg, nil, o.seeds())
+	if err != nil {
+		return nil, err
+	}
+	stop := func() adversary.Adversary {
+		return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+			Coverage: 0.7, Duration: 60 * sim.Day, Recuperation: 30 * sim.Day,
+		}}
+	}
+	brute := func() adversary.Adversary {
+		return &adversary.BruteForce{Defection: adversary.DefectRemaining}
+	}
+	scenarios := []struct {
+		name string
+		mk   func() adversary.Adversary
+	}{
+		{"baseline", nil},
+		{"pipe stoppage 70%/60d", stop},
+		{"brute force REMAINING", brute},
+		{"combined", func() adversary.Adversary {
+			return &adversary.Combined{Parts: []adversary.Adversary{stop(), brute()}}
+		}},
+	}
+	for _, sc := range scenarios {
+		stats := baseline
+		if sc.mk != nil {
+			var err error
+			stats, err = RunAveraged(cfg, sc.mk, o.seeds())
+			if err != nil {
+				return nil, err
+			}
+		}
+		cmp := Compare(stats, baseline)
+		t.AddRow(sc.name, fmtProb(stats.AccessFailure), fmtRatio(cmp.DelayRatio),
+			fmtRatio(cmp.Friction), fmt.Sprintf("%.0f", stats.SuccessfulPolls))
+		o.progress("combined %s afp=%s", sc.name, fmtProb(stats.AccessFailure))
+	}
+	t.Notes = append(t.Notes,
+		"redundancy and rate limits keep the combination roughly additive: the stoppage dominates damage, the brute force dominates friction")
+	return t, nil
+}

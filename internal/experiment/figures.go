@@ -1,0 +1,303 @@
+package experiment
+
+import (
+	"fmt"
+
+	"lockss/internal/adversary"
+	"lockss/internal/sched"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// --- Figure 2: baseline access failure vs inter-poll interval -------------
+
+// figure2Intervals returns the x axis (months) per scale.
+func (o Options) figure2Intervals() []int {
+	switch o.Scale {
+	case ScalePaper:
+		return []int{2, 3, 4, 5, 6, 8, 10, 12}
+	case ScaleSmall:
+		return []int{2, 3, 6, 9, 12}
+	default:
+		return []int{2, 3, 6, 12}
+	}
+}
+
+// figure2MTBFs returns the storage-failure series (disk-years) per scale.
+func (o Options) figure2MTBFs() []float64 {
+	switch o.Scale {
+	case ScalePaper:
+		return []float64{1, 2, 3, 4, 5}
+	case ScaleSmall:
+		return []float64{1, 3, 5}
+	default:
+		return []float64{1, 5}
+	}
+}
+
+// Figure2 reproduces the baseline: mean access failure probability for
+// increasing inter-poll intervals at varying mean times between storage
+// failures, for the small and the layered large collection, absent attack.
+func Figure2(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Figure 2",
+		Title:   "Access failure probability vs inter-poll interval (no attack)",
+		Columns: []string{"interval(mo)", "mtbf(disk-yr)", "collection", "access-failure", "polls-ok"},
+	}
+	for _, months := range o.figure2Intervals() {
+		for _, mtbf := range o.figure2MTBFs() {
+			cfg := o.baseWorld()
+			cfg.Protocol.PollInterval = sched.Duration(sim.Duration(months) * sim.Month)
+			cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
+			cfg.DamageDiskYears = mtbf
+			stats, err := RunAveraged(cfg, nil, o.seeds())
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%d", months), fmt.Sprintf("%.0f", mtbf),
+				fmt.Sprintf("%d AUs", cfg.AUs), fmtProb(stats.AccessFailure),
+				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
+			o.progress("fig2 interval=%dmo mtbf=%.0fy afp=%s", months, mtbf, fmtProb(stats.AccessFailure))
+		}
+	}
+	// Large-collection curves (paper: 600 AUs at 1 and 5 disk-years).
+	layers := o.layersFor()
+	for _, mtbf := range []float64{1, 5} {
+		for _, months := range o.figure2Intervals() {
+			cfg := o.baseWorld()
+			cfg.Protocol.PollInterval = sched.Duration(sim.Duration(months) * sim.Month)
+			cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
+			cfg.DamageDiskYears = mtbf
+			stats, err := RunLayeredAveraged(cfg, nil, layers, 1)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(fmt.Sprintf("%d", months), fmt.Sprintf("%.0f", mtbf),
+				fmt.Sprintf("%d AUs (layered)", cfg.AUs*layers), fmtProb(stats.AccessFailure),
+				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
+			o.progress("fig2/large interval=%dmo mtbf=%.0fy afp=%s", months, mtbf, fmtProb(stats.AccessFailure))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: afp rises with the inter-poll interval; ~4.8e-4 at 3mo/5y (50 AUs), 5.2e-4 (600 AUs)")
+	return t, nil
+}
+
+// --- Figures 3-5: pipe stoppage sweep --------------------------------------
+
+func (o Options) stoppageDurations() []sim.Duration {
+	switch o.Scale {
+	case ScalePaper:
+		return []sim.Duration{1 * sim.Day, 5 * sim.Day, 10 * sim.Day, 30 * sim.Day, 60 * sim.Day, 90 * sim.Day, 180 * sim.Day}
+	case ScaleSmall:
+		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 90 * sim.Day, 180 * sim.Day}
+	default:
+		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 90 * sim.Day}
+	}
+}
+
+func (o Options) coverages() []float64 {
+	switch o.Scale {
+	case ScalePaper:
+		return []float64{0.1, 0.4, 0.7, 1.0}
+	case ScaleSmall:
+		return []float64{0.1, 0.4, 1.0}
+	default:
+		return []float64{0.4, 1.0}
+	}
+}
+
+// sweepPoint is one (series, x) cell of an attack sweep.
+type sweepPoint struct {
+	series   string
+	duration sim.Duration
+	cmp      Comparison
+}
+
+// attackSweep runs a family of attacks against a shared baseline.
+func attackSweep(o Options, durations []sim.Duration, coverages []float64,
+	mk func(cov float64, dur sim.Duration) adversary.Adversary) ([]sweepPoint, error) {
+
+	base := o.baseWorld()
+	baseline, err := RunAveraged(base, nil, o.seeds())
+	if err != nil {
+		return nil, err
+	}
+	var points []sweepPoint
+	for _, cov := range coverages {
+		for _, dur := range durations {
+			cov, dur := cov, dur
+			attack, err := RunAveraged(base, func() adversary.Adversary { return mk(cov, dur) }, o.seeds())
+			if err != nil {
+				return nil, err
+			}
+			cmp := Compare(attack, baseline)
+			points = append(points, sweepPoint{series: fmtSeries(cov), duration: dur, cmp: cmp})
+			o.progress("sweep cov=%s dur=%dd afp=%s delay=%s friction=%s",
+				fmtSeries(cov), int(dur/sim.Day), fmtProb(attack.AccessFailure),
+				fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
+		}
+	}
+	// The paper's extra series: 100% coverage on the layered large
+	// collection.
+	layers := o.layersFor()
+	largeBase, err := RunLayeredAveraged(base, nil, layers, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, dur := range durations {
+		dur := dur
+		attack, err := RunLayeredAveraged(base, func() adversary.Adversary { return mk(1.0, dur) }, layers, 1)
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, largeBase)
+		points = append(points, sweepPoint{series: fmt.Sprintf("100%% %dAUs", base.AUs*layers), duration: dur, cmp: cmp})
+		o.progress("sweep/large dur=%dd afp=%s", int(dur/sim.Day), fmtProb(attack.AccessFailure))
+	}
+	return points, nil
+}
+
+// sweepTables renders the three standard views of one attack sweep.
+func sweepTables(points []sweepPoint, ids [3]string, titles [3]string) []*Table {
+	mkTable := func(id, title, metric string, get func(Comparison) string) *Table {
+		t := &Table{ID: id, Title: title,
+			Columns: []string{"coverage", "attack-days", metric}}
+		for _, p := range points {
+			t.AddRow(p.series, fmt.Sprintf("%d", int(p.duration/sim.Day)), get(p.cmp))
+		}
+		return t
+	}
+	return []*Table{
+		mkTable(ids[0], titles[0], "access-failure", func(c Comparison) string { return fmtProb(c.Attack.AccessFailure) }),
+		mkTable(ids[1], titles[1], "delay-ratio", func(c Comparison) string { return fmtRatio(c.DelayRatio) }),
+		mkTable(ids[2], titles[2], "coeff-friction", func(c Comparison) string { return fmtRatio(c.Friction) }),
+	}
+}
+
+// FiguresPipeStoppage reproduces Figures 3, 4 and 5: access failure
+// probability, delay ratio and coefficient of friction under repeated pipe
+// stoppage of varying duration and coverage.
+func FiguresPipeStoppage(o Options) ([]*Table, error) {
+	points, err := attackSweep(o, o.stoppageDurations(), o.coverages(),
+		func(cov float64, dur sim.Duration) adversary.Adversary {
+			return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+				Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
+			}}
+		})
+	if err != nil {
+		return nil, err
+	}
+	tables := sweepTables(points,
+		[3]string{"Figure 3", "Figure 4", "Figure 5"},
+		[3]string{
+			"Access failure probability under pipe stoppage",
+			"Delay ratio under pipe stoppage",
+			"Coefficient of friction under pipe stoppage",
+		})
+	tables[0].Notes = append(tables[0].Notes,
+		"paper: ~2.9e-3 at 100% coverage, 180-day attacks, 600 AUs; rises with coverage and duration")
+	tables[1].Notes = append(tables[1].Notes,
+		"paper: attacks must last 60+ days to raise the delay ratio by an order of magnitude")
+	tables[2].Notes = append(tables[2].Notes,
+		"paper: negligible for short attacks; up to ~10 for long ones")
+	return tables, nil
+}
+
+// --- Figures 6-8: admission-control flood sweep ----------------------------
+
+func (o Options) floodDurations() []sim.Duration {
+	switch o.Scale {
+	case ScalePaper:
+		return []sim.Duration{1 * sim.Day, 5 * sim.Day, 10 * sim.Day, 30 * sim.Day, 90 * sim.Day, 180 * sim.Day, 720 * sim.Day}
+	case ScaleSmall:
+		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 180 * sim.Day, 720 * sim.Day}
+	default:
+		return []sim.Duration{10 * sim.Day, 90 * sim.Day, 360 * sim.Day}
+	}
+}
+
+// FiguresAdmissionFlood reproduces Figures 6, 7 and 8: the admission-control
+// adversary's garbage invitations from unknown identities.
+func FiguresAdmissionFlood(o Options) ([]*Table, error) {
+	points, err := attackSweep(o, o.floodDurations(), o.coverages(),
+		func(cov float64, dur sim.Duration) adversary.Adversary {
+			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+				Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
+			}}
+		})
+	if err != nil {
+		return nil, err
+	}
+	tables := sweepTables(points,
+		[3]string{"Figure 6", "Figure 7", "Figure 8"},
+		[3]string{
+			"Access failure probability under admission-control attack",
+			"Delay ratio under admission-control attack",
+			"Coefficient of friction under admission-control attack",
+		})
+	tables[0].Notes = append(tables[0].Notes,
+		"paper: little effect; up to ~5.9e-4 at full coverage for the whole run (600 AUs)")
+	tables[2].Notes = append(tables[2].Notes,
+		"paper: sustained attacks can raise the cost per successful poll by ~33%")
+	return tables, nil
+}
+
+// --- Table 1: brute-force defection strategies -----------------------------
+
+// Table1 reproduces the brute-force adversary defecting at INTRO, REMAINING
+// and NONE, for the small and layered large collections.
+func Table1(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Table 1",
+		Title: "Brute-force adversary defection strategies (continuous attack, all peers)",
+		Columns: []string{"defection", "collection", "coeff-friction", "cost-ratio",
+			"delay-ratio", "access-failure"},
+	}
+	base := o.baseWorld()
+	baseline, err := RunAveraged(base, nil, o.seeds())
+	if err != nil {
+		return nil, err
+	}
+	layers := o.layersFor()
+	largeBaseline, err := RunLayeredAveraged(base, nil, layers, 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range []adversary.Defection{adversary.DefectIntro, adversary.DefectRemaining, adversary.DefectNone} {
+		d := d
+		mk := func() adversary.Adversary { return &adversary.BruteForce{Defection: d} }
+		attack, err := RunAveraged(base, mk, o.seeds())
+		if err != nil {
+			return nil, err
+		}
+		cmp := Compare(attack, baseline)
+		t.AddRow(d.String(), fmt.Sprintf("%d AUs", base.AUs), fmtRatio(cmp.Friction),
+			fmtRatio(cmp.CostRatio), fmtRatio(cmp.DelayRatio), fmtProb(attack.AccessFailure))
+		o.progress("table1 %v small friction=%s cost=%s", d, fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio))
+
+		large, err := RunLayeredAveraged(base, mk, layers, 1)
+		if err != nil {
+			return nil, err
+		}
+		lcmp := Compare(large, largeBaseline)
+		t.AddRow(d.String(), fmt.Sprintf("%d AUs (layered)", base.AUs*layers), fmtRatio(lcmp.Friction),
+			fmtRatio(lcmp.CostRatio), fmtRatio(lcmp.DelayRatio), fmtProb(large.AccessFailure))
+		o.progress("table1 %v large friction=%s cost=%s", d, fmtRatio(lcmp.Friction), fmtRatio(lcmp.CostRatio))
+	}
+	t.Notes = append(t.Notes,
+		"paper (50 AUs): INTRO 1.40/1.93/1.11/5.0e-4, REMAINING 2.61/1.55/1.11/5.9e-4, NONE 2.60/1.02/1.11/5.6e-4",
+		"shape: friction INTRO < REMAINING ~= NONE; access failure within ~1.3x of baseline for all strategies")
+	return t, nil
+}
+
+// --- Baseline helper shared by examples and tests ---------------------------
+
+// Baseline runs the no-attack scenario at the given options and returns its
+// stats.
+func Baseline(o Options) (RunStats, error) {
+	return RunAveraged(o.baseWorld(), nil, o.seeds())
+}
+
+// WorldConfig exposes the scale's world configuration (for examples).
+func WorldConfig(o Options) world.Config { return o.baseWorld() }

@@ -1,0 +1,32 @@
+// Package ids defines the identifier types shared across the LOCKSS
+// packages.
+package ids
+
+import "fmt"
+
+// PeerID identifies a network identity. Loyal peers get small IDs assigned
+// at population build time; adversary minions draw from a reserved high
+// range (the adversary has unconstrained identities, so minion IDs are
+// cheap to mint).
+type PeerID uint32
+
+// NoPeer is the zero PeerID; it is never assigned.
+const NoPeer PeerID = 0
+
+// MinionBase is the first PeerID in the adversary's reserved range.
+const MinionBase PeerID = 1 << 24
+
+// IsMinion reports whether id belongs to the adversary's reserved range.
+// Loyal peers never inspect this — it exists for metrics and assertions
+// only; to the protocol an identity is just an identity.
+func (id PeerID) IsMinion() bool { return id >= MinionBase }
+
+func (id PeerID) String() string {
+	if id == NoPeer {
+		return "peer:none"
+	}
+	if id.IsMinion() {
+		return fmt.Sprintf("minion:%d", uint32(id-MinionBase))
+	}
+	return fmt.Sprintf("peer:%d", uint32(id))
+}

@@ -1,0 +1,24 @@
+package ids
+
+import "testing"
+
+func TestMinionRange(t *testing.T) {
+	if PeerID(1).IsMinion() || NoPeer.IsMinion() {
+		t.Error("loyal IDs classified as minions")
+	}
+	if !MinionBase.IsMinion() || !(MinionBase + 1000000).IsMinion() {
+		t.Error("minion IDs not recognized")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if NoPeer.String() != "peer:none" {
+		t.Errorf("NoPeer = %q", NoPeer.String())
+	}
+	if PeerID(7).String() != "peer:7" {
+		t.Errorf("PeerID(7) = %q", PeerID(7).String())
+	}
+	if (MinionBase + 3).String() != "minion:3" {
+		t.Errorf("minion = %q", (MinionBase + 3).String())
+	}
+}

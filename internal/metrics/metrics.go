@@ -1,0 +1,180 @@
+// Package metrics computes the paper's four evaluation metrics from
+// protocol events (§6.1):
+//
+//   - Access failure probability: the fraction of all replicas in the system
+//     that are damaged, averaged over time (a time integral of the damaged
+//     replica count).
+//   - Delay ratio: mean time between successful polls under attack divided
+//     by the same measurement without the attack.
+//   - Coefficient of friction: average loyal effort per successful poll
+//     under attack divided by the same measurement without the attack.
+//   - Cost ratio: total attacker effort divided by total defender effort.
+//
+// A Collector gathers the raw ingredients for one run; ratios against a
+// baseline run are taken by the experiment package.
+package metrics
+
+import (
+	"lockss/internal/content"
+	"lockss/internal/ids"
+	"lockss/internal/protocol"
+	"lockss/internal/sched"
+)
+
+// replicaKey identifies one (peer, AU) replica.
+type replicaKey struct {
+	peer ids.PeerID
+	au   content.AUID
+}
+
+// Collector implements protocol.Observer and accumulates raw statistics for
+// one simulation run.
+type Collector struct {
+	replicas map[replicaKey]content.Replica
+	damaged  map[replicaKey]bool
+
+	lastT           sched.Time
+	damagedIntegral float64 // replica-nanoseconds damaged
+
+	// Successful-poll interarrival bookkeeping. gapSum/gapCount track
+	// observed consecutive-success gaps (diagnostic); the headline
+	// MeanSuccessInterval uses a censoring-aware renewal estimator.
+	lastSuccess map[replicaKey]sched.Time
+	gapSum      float64
+	gapCount    int
+
+	// Counters.
+	Polls         map[protocol.Outcome]uint64
+	Alarms        uint64
+	DamageEvents  uint64
+	RepairsFixed  uint64
+	VotesSupplied uint64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		replicas:    make(map[replicaKey]content.Replica),
+		damaged:     make(map[replicaKey]bool),
+		lastSuccess: make(map[replicaKey]sched.Time),
+		Polls:       make(map[protocol.Outcome]uint64),
+	}
+}
+
+// RegisterReplica announces a (peer, AU) replica at simulation start.
+func (c *Collector) RegisterReplica(peer ids.PeerID, au content.AUID, r content.Replica) {
+	k := replicaKey{peer, au}
+	c.replicas[k] = r
+	if r.Damaged() {
+		c.damaged[k] = true
+	}
+}
+
+// advance integrates the damaged-replica count up to now.
+func (c *Collector) advance(now sched.Time) {
+	if now > c.lastT {
+		c.damagedIntegral += float64(len(c.damaged)) * float64(now-c.lastT)
+		c.lastT = now
+	}
+}
+
+// OnDamage records a storage damage event (called by the damage injector
+// after corrupting the replica).
+func (c *Collector) OnDamage(peer ids.PeerID, au content.AUID, now sched.Time) {
+	c.advance(now)
+	c.DamageEvents++
+	k := replicaKey{peer, au}
+	if r := c.replicas[k]; r != nil && r.Damaged() {
+		c.damaged[k] = true
+	}
+}
+
+// RepairApplied implements protocol.Observer.
+func (c *Collector) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+	c.advance(now)
+	k := replicaKey{peer, au}
+	if r := c.replicas[k]; r != nil && !r.Damaged() {
+		if c.damaged[k] {
+			c.RepairsFixed++
+			delete(c.damaged, k)
+		}
+	}
+}
+
+// PollConcluded implements protocol.Observer.
+func (c *Collector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.Outcome, now sched.Time) {
+	c.advance(now)
+	c.Polls[o]++
+	if o != protocol.OutcomeSuccess {
+		return
+	}
+	k := replicaKey{peer, au}
+	if last, ok := c.lastSuccess[k]; ok {
+		c.gapSum += float64(now - last)
+		c.gapCount++
+	}
+	c.lastSuccess[k] = now
+}
+
+// Alarm implements protocol.Observer.
+func (c *Collector) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+	c.Alarms++
+}
+
+// VoteSupplied implements protocol.Observer.
+func (c *Collector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
+	c.VotesSupplied++
+}
+
+// Finalize integrates the tail of the run. Call once, at the horizon.
+func (c *Collector) Finalize(end sched.Time) {
+	c.advance(end)
+}
+
+// AccessFailureProbability returns the time-averaged fraction of damaged
+// replicas over [0, end] (Finalize must have been called with end).
+func (c *Collector) AccessFailureProbability() float64 {
+	if len(c.replicas) == 0 || c.lastT == 0 {
+		return 0
+	}
+	return c.damagedIntegral / (float64(len(c.replicas)) * float64(c.lastT))
+}
+
+// MeanSuccessInterval returns the mean time between successful polls on the
+// same replica, in nanoseconds, using the censoring-aware renewal estimator
+// (total replica observation time divided by total successes): replicas that
+// never complete a poll during an attack lengthen the estimate rather than
+// silently dropping out, matching the paper's delay-ratio intent.
+func (c *Collector) MeanSuccessInterval() (float64, bool) {
+	succ := c.Polls[protocol.OutcomeSuccess]
+	if succ == 0 || len(c.replicas) == 0 || c.lastT == 0 {
+		return 0, false
+	}
+	return float64(c.lastT) * float64(len(c.replicas)) / float64(succ), true
+}
+
+// ObservedGapMean returns the mean of directly observed consecutive-success
+// gaps (biased under censoring; exposed for diagnostics and tests).
+func (c *Collector) ObservedGapMean() (float64, bool) {
+	if c.gapCount == 0 {
+		return 0, false
+	}
+	return c.gapSum / float64(c.gapCount), true
+}
+
+// SuccessfulPolls returns the count of successful polls.
+func (c *Collector) SuccessfulPolls() uint64 { return c.Polls[protocol.OutcomeSuccess] }
+
+// TotalPolls returns the count of concluded polls of all outcomes.
+func (c *Collector) TotalPolls() uint64 {
+	var n uint64
+	for _, v := range c.Polls {
+		n += v
+	}
+	return n
+}
+
+// DamagedNow returns the current number of damaged replicas.
+func (c *Collector) DamagedNow() int { return len(c.damaged) }
+
+var _ protocol.Observer = (*Collector)(nil)

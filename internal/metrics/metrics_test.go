@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"lockss/internal/content"
+	"lockss/internal/protocol"
+	"lockss/internal/sched"
+)
+
+func reg(c *Collector, n int) []*content.SimReplica {
+	spec := content.AUSpec{ID: 1, Name: "m", Size: 4096, BlockSize: 1024}
+	out := make([]*content.SimReplica, n)
+	for i := 0; i < n; i++ {
+		out[i] = content.NewSimReplica(spec, uint64(i+1))
+		c.RegisterReplica(1, content.AUID(i+1), out[i]) // one peer, n AUs
+	}
+	return out
+}
+
+func TestAccessFailureIntegral(t *testing.T) {
+	c := NewCollector()
+	rs := reg(c, 4)
+	// Damage replica 0 at t=100; repair at t=300; horizon 1000.
+	rs[0].Damage(0)
+	c.OnDamage(1, 1, 100)
+	if c.DamagedNow() != 1 {
+		t.Fatal("damage not tracked")
+	}
+	rs[0].ApplyRepair(0, mustRepairData(t, rs[1], 0))
+	c.RepairApplied(1, 1, 0, 300)
+	if c.DamagedNow() != 0 {
+		t.Fatal("repair not tracked")
+	}
+	c.Finalize(1000)
+	// One replica damaged for 200 of 4*1000 replica-time.
+	want := 200.0 / 4000.0
+	if got := c.AccessFailureProbability(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AFP = %v, want %v", got, want)
+	}
+}
+
+func mustRepairData(t *testing.T, r content.Replica, block int) []byte {
+	t.Helper()
+	d, err := r.RepairBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPartialRepairKeepsDamaged(t *testing.T) {
+	c := NewCollector()
+	rs := reg(c, 2)
+	rs[0].Damage(0)
+	rs[0].Damage(1)
+	c.OnDamage(1, 1, 100)
+	rs[0].ApplyRepair(0, mustRepairData(t, rs[1], 0))
+	c.RepairApplied(1, 1, 0, 200)
+	if c.DamagedNow() != 1 {
+		t.Error("partially repaired replica should stay damaged")
+	}
+	if c.RepairsFixed != 0 {
+		t.Error("partial repair counted as fixed")
+	}
+	rs[0].ApplyRepair(1, mustRepairData(t, rs[1], 1))
+	c.RepairApplied(1, 1, 1, 300)
+	if c.DamagedNow() != 0 || c.RepairsFixed != 1 {
+		t.Error("full repair not registered")
+	}
+}
+
+func TestMeanSuccessIntervalRenewal(t *testing.T) {
+	c := NewCollector()
+	reg(c, 2) // 2 replicas
+	day := sched.Time(24 * 3600 * 1e9)
+	c.PollConcluded(1, 1, protocol.OutcomeSuccess, 90*day)
+	c.PollConcluded(1, 1, protocol.OutcomeSuccess, 180*day)
+	c.PollConcluded(1, 2, protocol.OutcomeSuccess, 100*day)
+	c.PollConcluded(1, 2, protocol.OutcomeInquorate, 190*day)
+	c.Finalize(360 * day)
+	// Renewal estimator: 2 replicas x 360 days / 3 successes = 240 days.
+	got, ok := c.MeanSuccessInterval()
+	if !ok {
+		t.Fatal("no interval")
+	}
+	want := float64(2*360*day) / 3
+	if math.Abs(got-want) > 1 {
+		t.Errorf("renewal mean = %v, want %v", got, want)
+	}
+	// Observed-gap diagnostic: the single 90-day gap.
+	gap, ok := c.ObservedGapMean()
+	if !ok || math.Abs(gap-float64(90*day)) > 1 {
+		t.Errorf("observed gap = %v", gap)
+	}
+}
+
+func TestNoSuccesses(t *testing.T) {
+	c := NewCollector()
+	reg(c, 2)
+	c.PollConcluded(1, 1, protocol.OutcomeInquorate, 100)
+	c.Finalize(1000)
+	if _, ok := c.MeanSuccessInterval(); ok {
+		t.Error("interval reported with zero successes")
+	}
+	if c.SuccessfulPolls() != 0 || c.TotalPolls() != 1 {
+		t.Error("poll counters wrong")
+	}
+}
+
+func TestAlarmsAndCounts(t *testing.T) {
+	c := NewCollector()
+	reg(c, 1)
+	c.Alarm(1, 1, 10)
+	c.Alarm(1, 1, 20)
+	c.PollConcluded(1, 1, protocol.OutcomeInconclusive, 20)
+	c.VoteSupplied(2, 1, 1, 5)
+	c.Finalize(100)
+	if c.Alarms != 2 || c.VotesSupplied != 1 {
+		t.Errorf("counters: alarms=%d votes=%d", c.Alarms, c.VotesSupplied)
+	}
+	if c.Polls[protocol.OutcomeInconclusive] != 1 {
+		t.Error("inconclusive poll not counted")
+	}
+}
+
+func TestAccessFailureEmptyCollector(t *testing.T) {
+	c := NewCollector()
+	c.Finalize(1000)
+	if c.AccessFailureProbability() != 0 {
+		t.Error("empty collector should report zero AFP")
+	}
+}

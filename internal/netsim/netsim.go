@@ -1,0 +1,158 @@
+// Package netsim implements the simulated network: per-node access links
+// with bandwidth and latency, message transfer timing, and the pipe-stoppage
+// control surface the network-level adversary uses.
+//
+// Following the paper (§6.2), the model accounts for network delays but not
+// congestion: transfer time for a message is the sum of both endpoints'
+// latencies plus serialization at the slower of the two access links. Pipe
+// stoppage suppresses all communication to and from a victim.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"lockss/internal/ids"
+	"lockss/internal/prng"
+	"lockss/internal/sim"
+)
+
+// Bps is a link bandwidth in bits per second.
+type Bps float64
+
+// Standard access-link tiers from the paper: 1.5, 10 and 100 Mbps, assigned
+// uniformly at random.
+const (
+	T1       Bps = 1.5e6
+	Ethernet Bps = 10e6
+	FastEth  Bps = 100e6
+)
+
+// Link describes a node's access link.
+type Link struct {
+	Bandwidth Bps
+	Latency   sim.Duration
+}
+
+// RandomLink draws a link from the paper's distribution: bandwidth uniform
+// over {1.5, 10, 100} Mbps, latency uniform over [1ms, 30ms].
+func RandomLink(rnd *prng.Source) Link {
+	bws := [...]Bps{T1, Ethernet, FastEth}
+	lat := time.Duration(1+rnd.Int63n(30)) * time.Millisecond
+	return Link{Bandwidth: bws[rnd.Intn(len(bws))], Latency: lat}
+}
+
+// Handler receives a delivered message.
+type Handler func(from ids.PeerID, payload any, size int)
+
+type node struct {
+	link    Link
+	handler Handler
+	stopped bool
+}
+
+// Network routes messages between simulated nodes over the event engine.
+type Network struct {
+	eng   *sim.Engine
+	nodes map[ids.PeerID]*node
+
+	// Stats.
+	Sent      uint64
+	Delivered uint64
+	// DroppedStoppage counts messages suppressed by pipe stoppage.
+	DroppedStoppage uint64
+	// BytesDelivered totals delivered payload sizes.
+	BytesDelivered uint64
+}
+
+// New returns an empty network bound to the engine.
+func New(eng *sim.Engine) *Network {
+	return &Network{eng: eng, nodes: make(map[ids.PeerID]*node)}
+}
+
+// AddNode registers a node. Registering an existing ID panics: IDs are
+// assigned centrally at population build time.
+func (n *Network) AddNode(id ids.PeerID, link Link, h Handler) {
+	if _, dup := n.nodes[id]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %v", id))
+	}
+	if h == nil {
+		panic("netsim: nil handler")
+	}
+	n.nodes[id] = &node{link: link, handler: h}
+}
+
+// SetHandler replaces a node's handler (used by tests).
+func (n *Network) SetHandler(id ids.PeerID, h Handler) {
+	nd, ok := n.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown node %v", id))
+	}
+	nd.handler = h
+}
+
+// SetStopped marks a node's pipe as stopped (true) or restored (false).
+// While stopped, all messages to and from the node are suppressed, both
+// newly sent and in flight.
+func (n *Network) SetStopped(id ids.PeerID, stopped bool) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.stopped = stopped
+	}
+}
+
+// Stopped reports whether a node's pipe is currently stopped.
+func (n *Network) Stopped(id ids.PeerID) bool {
+	nd, ok := n.nodes[id]
+	return ok && nd.stopped
+}
+
+// TransferTime returns the modeled delivery delay for size bytes between the
+// two nodes.
+func (n *Network) TransferTime(from, to ids.PeerID, size int) sim.Duration {
+	a, b := n.nodes[from], n.nodes[to]
+	if a == nil || b == nil {
+		return 0
+	}
+	bw := a.link.Bandwidth
+	if b.link.Bandwidth < bw {
+		bw = b.link.Bandwidth
+	}
+	ser := sim.Duration(float64(size*8) / float64(bw) * float64(sim.Second))
+	return a.link.Latency + b.link.Latency + ser
+}
+
+// Send dispatches payload of the given wire size from one node to another.
+// Unknown endpoints and stopped pipes silently drop (the sender learns
+// nothing, as in the real network).
+func (n *Network) Send(from, to ids.PeerID, payload any, size int) {
+	n.Sent++
+	src, dst := n.nodes[from], n.nodes[to]
+	if src == nil || dst == nil {
+		return
+	}
+	if src.stopped || dst.stopped {
+		n.DroppedStoppage++
+		return
+	}
+	delay := n.TransferTime(from, to, size)
+	n.eng.After(delay, func() {
+		// Re-check at delivery: an attack that started mid-flight kills the
+		// message, matching the paper's "suppresses all communication".
+		if src.stopped || dst.stopped {
+			n.DroppedStoppage++
+			return
+		}
+		n.Delivered++
+		n.BytesDelivered += uint64(size)
+		dst.handler(from, payload, size)
+	})
+}
+
+// NodeIDs returns all registered node IDs in unspecified order.
+func (n *Network) NodeIDs() []ids.PeerID {
+	out := make([]ids.PeerID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,388 @@
+// Package node runs a real LOCKSS peer: the same protocol state machines as
+// the simulator, driven by the wall clock, real SHA-256 content hashing,
+// real memory-bound-function effort proofs, and encrypted TCP transport.
+//
+// A Node is an actor: all protocol callbacks (incoming messages, timers)
+// execute on one internal goroutine, preserving the protocol package's
+// single-threaded contract.
+package node
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/prng"
+	"lockss/internal/protocol"
+	"lockss/internal/sched"
+	"lockss/internal/session"
+	"lockss/internal/wire"
+)
+
+// Config configures a networked peer.
+type Config struct {
+	// ID is this peer's identity.
+	ID ids.PeerID
+	// Listen is the TCP listen address, e.g. ":7421".
+	Listen string
+	// AddressBook maps peer identities to dial addresses.
+	AddressBook map[ids.PeerID]string
+	// Protocol is the protocol operating point (scale timeouts down for
+	// demos: the defaults audit on a 3-month cadence).
+	Protocol protocol.Config
+	// Costs is the effort cost model used for scheduling and balancing.
+	Costs effort.CostModel
+	// MBF parameterizes the real proofs of effort. All peers must agree.
+	MBF effort.MBFParams
+	// EffortUnit is the effort-seconds one MBF walk stands for when scaling
+	// proof sizes to requested costs.
+	EffortUnit effort.Seconds
+	// Seed drives the peer's (non-cryptographic) protocol randomness.
+	Seed uint64
+	// Observer receives protocol events (may be nil).
+	Observer protocol.Observer
+	// Logf, if non-nil, receives diagnostic logs.
+	Logf func(format string, args ...any)
+}
+
+// Node is a running peer.
+type Node struct {
+	cfg  Config
+	peer *protocol.Peer
+	mbf  *effort.MBF
+	rnd  *prng.Source
+
+	loop     chan func()
+	stop     chan struct{}
+	stopped  sync.Once
+	listener net.Listener
+	wg       sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[ids.PeerID]*session.Conn
+	// all tracks every live session (inbound and outbound) so Stop can
+	// unblock their read loops.
+	all map[*session.Conn]struct{}
+}
+
+// New builds a node. AddAU must be called before Start.
+func New(cfg Config) (*Node, error) {
+	if cfg.ID == ids.NoPeer {
+		return nil, errors.New("node: missing peer ID")
+	}
+	if cfg.EffortUnit <= 0 {
+		cfg.EffortUnit = 1
+	}
+	if cfg.MBF.TableWords == 0 {
+		cfg.MBF = effort.DefaultMBFParams()
+	}
+	n := &Node{
+		cfg:   cfg,
+		mbf:   effort.NewMBF(cfg.MBF),
+		rnd:   prng.New(cfg.Seed ^ uint64(cfg.ID)*0x9e3779b97f4a7c15),
+		loop:  make(chan func(), 1024),
+		stop:  make(chan struct{}),
+		conns: make(map[ids.PeerID]*session.Conn),
+		all:   make(map[*session.Conn]struct{}),
+	}
+	p, err := protocol.New(cfg.ID, cfg.Protocol, cfg.Costs, (*env)(n), cfg.Observer)
+	if err != nil {
+		return nil, err
+	}
+	n.peer = p
+	return n, nil
+}
+
+// Peer exposes the protocol peer for inspection (replicas, stats).
+func (n *Node) Peer() *protocol.Peer { return n.peer }
+
+// AddAU registers a replica to preserve; see protocol.Peer.AddAU.
+func (n *Node) AddAU(replica content.Replica, refs []ids.PeerID) error {
+	return n.peer.AddAU(replica, refs)
+}
+
+// SetFriends installs the operator's friends list.
+func (n *Node) SetFriends(friends []ids.PeerID) { n.peer.SetFriends(friends) }
+
+// logf logs when configured.
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf("node %v: %s", n.cfg.ID, fmt.Sprintf(format, args...))
+	}
+}
+
+// post schedules fn on the actor loop; drops silently after Stop.
+func (n *Node) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.stop:
+	}
+}
+
+// Start begins listening and launches the protocol.
+func (n *Node) Start() error {
+	l, err := net.Listen("tcp", n.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("node: listen: %w", err)
+	}
+	n.listener = l
+	n.wg.Add(2)
+	go n.runLoop()
+	go n.acceptLoop()
+	n.post(func() { n.peer.Start() })
+	n.logf("listening on %v", l.Addr())
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (n *Node) Addr() net.Addr {
+	if n.listener == nil {
+		return nil
+	}
+	return n.listener.Addr()
+}
+
+// Stop terminates the node.
+func (n *Node) Stop() {
+	n.stopped.Do(func() {
+		close(n.stop)
+		if n.listener != nil {
+			n.listener.Close()
+		}
+		n.mu.Lock()
+		for c := range n.all {
+			c.Close()
+		}
+		n.all = map[*session.Conn]struct{}{}
+		n.conns = map[ids.PeerID]*session.Conn{}
+		n.mu.Unlock()
+	})
+	n.wg.Wait()
+}
+
+// runLoop is the actor goroutine: every protocol callback runs here.
+func (n *Node) runLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.loop:
+			fn()
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// acceptLoop serves inbound sessions.
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		raw, err := n.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			// Bound the handshake so a half-open connection cannot wedge
+			// shutdown.
+			raw.SetDeadline(time.Now().Add(10 * time.Second))
+			conn, err := session.Server(raw)
+			if err != nil {
+				n.logf("inbound handshake failed: %v", err)
+				raw.Close()
+				return
+			}
+			raw.SetDeadline(time.Time{})
+			n.readLoop(conn)
+		}()
+	}
+}
+
+// track registers a live session for shutdown.
+func (n *Node) track(conn *session.Conn) {
+	n.mu.Lock()
+	n.all[conn] = struct{}{}
+	n.mu.Unlock()
+}
+
+// untrack forgets a closed session.
+func (n *Node) untrack(conn *session.Conn) {
+	n.mu.Lock()
+	delete(n.all, conn)
+	n.mu.Unlock()
+}
+
+// readLoop decodes frames from one session and feeds the protocol.
+func (n *Node) readLoop(conn *session.Conn) {
+	n.track(conn)
+	defer n.untrack(conn)
+	defer conn.Close()
+	for {
+		frame, err := conn.ReadMsg()
+		if err != nil {
+			return
+		}
+		m, err := wire.Decode(frame)
+		if err != nil {
+			n.logf("bad frame: %v", err)
+			return
+		}
+		from := senderOf(m)
+		n.post(func() { n.peer.Receive(from, m) })
+	}
+}
+
+// senderOf infers the ostensible sender identity from the message role.
+// Sessions are anonymous (per the paper); identity is claimed, and the
+// protocol's defenses are designed for exactly that.
+func senderOf(m *protocol.Msg) ids.PeerID {
+	switch m.Type {
+	case protocol.MsgPollAck, protocol.MsgVote, protocol.MsgRepair:
+		return m.Voter
+	default:
+		return m.Poller
+	}
+}
+
+// connTo returns (dialing if necessary) the outbound session to a peer.
+func (n *Node) connTo(to ids.PeerID) (*session.Conn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	addr, ok := n.cfg.AddressBook[to]
+	if !ok {
+		return nil, fmt.Errorf("node: no address for %v", to)
+	}
+	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := session.Client(raw)
+	if err != nil {
+		raw.Close()
+		return nil, err
+	}
+	n.mu.Lock()
+	if existing, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	n.conns[to] = conn
+	n.mu.Unlock()
+	// Replies arriving on the outbound session are also protocol input.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.readLoop(conn)
+		n.mu.Lock()
+		if n.conns[to] == conn {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+	}()
+	return conn, nil
+}
+
+// sendMsg delivers one message asynchronously; failures are silent, like
+// the network (the protocol's timeouts and retries own reliability).
+func (n *Node) sendMsg(to ids.PeerID, m *protocol.Msg) {
+	data, err := wire.Encode(m)
+	if err != nil {
+		n.logf("encode %v: %v", m.Type, err)
+		return
+	}
+	conn, err := n.connTo(to)
+	if err != nil {
+		n.logf("dial %v: %v", to, err)
+		return
+	}
+	n.mu.Lock()
+	err = conn.WriteMsg(data)
+	n.mu.Unlock()
+	if err != nil {
+		n.logf("send %v to %v: %v", m.Type, to, err)
+		n.mu.Lock()
+		if n.conns[to] == conn {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		conn.Close()
+	}
+}
+
+// env adapts Node to protocol.Env.
+type env Node
+
+// Now implements protocol.Env on the wall clock; Unix nanoseconds are
+// consistent across cooperating nodes (the protocol tolerates ordinary
+// clock skew through its generous timeouts).
+func (e *env) Now() sched.Time { return sched.Time(time.Now().UnixNano()) }
+
+// After implements protocol.Env.
+func (e *env) After(d sched.Duration, fn func()) func() {
+	n := (*Node)(e)
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(time.Duration(d), func() { n.post(fn) })
+	return func() { t.Stop() }
+}
+
+// Rand implements protocol.Env.
+func (e *env) Rand() *prng.Source { return e.rnd }
+
+// Send implements protocol.Env.
+func (e *env) Send(to ids.PeerID, m *protocol.Msg) {
+	n := (*Node)(e)
+	go n.sendMsg(to, m)
+}
+
+// units scales a requested effort cost to MBF walk units.
+func (e *env) units(cost effort.Seconds) int {
+	u := int(float64(cost)/float64(e.cfg.EffortUnit)) + 1
+	if u < 1 {
+		u = 1
+	}
+	if u > 64 {
+		u = 64
+	}
+	return u
+}
+
+// MakeProof implements protocol.Env with a real MBF computation.
+func (e *env) MakeProof(ctx []byte, cost effort.Seconds) (effort.Proof, effort.Receipt) {
+	p, r := e.mbf.Generate(ctx, e.units(cost), e.cfg.EffortUnit)
+	p.UnitCost = effort.Seconds(float64(cost) / float64(p.Units))
+	return p, r
+}
+
+// VerifyProof implements protocol.Env: spot-check verification.
+func (e *env) VerifyProof(ctx []byte, p effort.Proof, minCost effort.Seconds) bool {
+	mp, ok := p.(*effort.MBFProof)
+	if !ok || mp == nil {
+		return false
+	}
+	e.mbf.Bind(mp)
+	return mp.Cost() >= minCost-1e-9 && e.mbf.Verify(mp, ctx)
+}
+
+// EvalReceipt implements protocol.Env: the full walk recovers the receipt
+// byproduct.
+func (e *env) EvalReceipt(ctx []byte, p effort.Proof) (effort.Receipt, bool) {
+	mp, ok := p.(*effort.MBFProof)
+	if !ok || mp == nil {
+		return effort.Receipt{}, false
+	}
+	e.mbf.Bind(mp)
+	return e.mbf.RecomputeByproduct(mp, ctx)
+}

@@ -1,0 +1,74 @@
+package protocol
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestDefaultConfigPaperOperatingPoint(t *testing.T) {
+	c := DefaultConfig()
+	if c.Quorum != 10 {
+		t.Errorf("quorum %d, want 10", c.Quorum)
+	}
+	if c.InnerCircle != 2*c.Quorum {
+		t.Errorf("inner circle %d, want twice the quorum", c.InnerCircle)
+	}
+	if c.MaxDisagree != 3 {
+		t.Errorf("landslide margin %d, want 3", c.MaxDisagree)
+	}
+	if c.PollInterval != 90*24*time.Hour {
+		t.Errorf("poll interval %v, want 3 months", c.PollInterval)
+	}
+	if c.DropUnknown != 0.90 || c.DropDebt != 0.80 {
+		t.Errorf("drop probabilities %v/%v, want 0.90/0.80", c.DropUnknown, c.DropDebt)
+	}
+	if c.Refractory != 24*time.Hour {
+		t.Errorf("refractory %v, want 1 day", c.Refractory)
+	}
+	if !c.Desynchronize || !c.EffortBalancing || !c.Introductions {
+		t.Error("defenses must default on")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero quorum", func(c *Config) { c.Quorum = 0 }},
+		{"inner below quorum", func(c *Config) { c.InnerCircle = c.Quorum - 1 }},
+		{"margin >= quorum", func(c *Config) { c.MaxDisagree = c.Quorum }},
+		{"negative margin", func(c *Config) { c.MaxDisagree = -1 }},
+		{"zero interval", func(c *Config) { c.PollInterval = 0 }},
+		{"bad fractions", func(c *Config) { c.EvalFrac = 0.1 }},
+		{"zero vote window", func(c *Config) { c.VoteWindow = 0 }},
+		{"zero block size", func(c *Config) { c.BlockSize = 0 }},
+	}
+	for _, m := range mutations {
+		c := DefaultConfig()
+		m.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: accepted", m.name)
+		}
+	}
+}
+
+func TestReputationParamsConversion(t *testing.T) {
+	c := DefaultConfig()
+	p := c.reputationParams()
+	if p.DropUnknown != c.DropUnknown || p.DropDebt != c.DropDebt {
+		t.Error("drop probabilities not forwarded")
+	}
+	if time.Duration(p.Refractory) != c.Refractory {
+		t.Error("refractory not forwarded")
+	}
+	if !p.IntroductionsEnabled {
+		t.Error("introductions flag not forwarded")
+	}
+}

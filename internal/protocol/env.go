@@ -1,0 +1,98 @@
+package protocol
+
+import (
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/prng"
+	"lockss/internal/sched"
+)
+
+// Env supplies a Peer with time, timers, randomness, transport and effort
+// primitives. The discrete-event simulator and the real networked node each
+// provide an implementation; the protocol state machines are identical under
+// both.
+type Env interface {
+	// Now returns the current time on the environment's clock.
+	Now() sched.Time
+	// After schedules fn once, d from now, returning a cancel function.
+	// Cancel is idempotent and safe after firing.
+	After(d sched.Duration, fn func()) (cancel func())
+	// Rand returns the peer's deterministic randomness stream.
+	Rand() *prng.Source
+	// Send transmits a message to another peer. Delivery is best-effort and
+	// unacknowledged at this layer.
+	Send(to ids.PeerID, m *Msg)
+	// MakeProof generates a proof of effort of the given cost bound to ctx,
+	// returning the proof and its secret byproduct receipt. Generation cost
+	// is charged by the caller via the peer's ledger; in the simulator the
+	// proof is symbolic, in the real node it is an MBF computation.
+	MakeProof(ctx []byte, cost effort.Seconds) (effort.Proof, effort.Receipt)
+	// VerifyProof checks that p is valid for ctx and claims at least
+	// minCost of effort.
+	VerifyProof(ctx []byte, p effort.Proof, minCost effort.Seconds) bool
+	// EvalReceipt derives the byproduct receipt of p by fully evaluating it
+	// (the expensive path a poller takes while evaluating a vote). ok is
+	// false if the proof does not withstand full evaluation.
+	EvalReceipt(ctx []byte, p effort.Proof) (r effort.Receipt, ok bool)
+}
+
+// Outcome classifies how a poll concluded.
+type Outcome uint8
+
+const (
+	// OutcomeSuccess: quorate, landslide agreement on every block after any
+	// repairs.
+	OutcomeSuccess Outcome = iota
+	// OutcomeInquorate: fewer than quorum inner votes tallied.
+	OutcomeInquorate
+	// OutcomeInconclusive: no landslide either way on some block; raises an
+	// alarm for the human operator.
+	OutcomeInconclusive
+	// OutcomeRepairFailed: the poller could not obtain a usable repair for
+	// a block the landslide says is damaged.
+	OutcomeRepairFailed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeSuccess:
+		return "success"
+	case OutcomeInquorate:
+		return "inquorate"
+	case OutcomeInconclusive:
+		return "inconclusive"
+	case OutcomeRepairFailed:
+		return "repair-failed"
+	}
+	return "invalid"
+}
+
+// Observer receives protocol-level events for metrics collection. All
+// methods are called synchronously from the protocol; implementations must
+// be cheap.
+type Observer interface {
+	// PollConcluded fires when a peer finishes a poll on an AU.
+	PollConcluded(peer ids.PeerID, au content.AUID, outcome Outcome, now sched.Time)
+	// Alarm fires on an inconclusive poll.
+	Alarm(peer ids.PeerID, au content.AUID, now sched.Time)
+	// RepairApplied fires after a replica block is overwritten by a repair.
+	RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time)
+	// VoteSupplied fires when a voter sends a vote.
+	VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+// PollConcluded implements Observer.
+func (NopObserver) PollConcluded(ids.PeerID, content.AUID, Outcome, sched.Time) {}
+
+// Alarm implements Observer.
+func (NopObserver) Alarm(ids.PeerID, content.AUID, sched.Time) {}
+
+// RepairApplied implements Observer.
+func (NopObserver) RepairApplied(ids.PeerID, content.AUID, int, sched.Time) {}
+
+// VoteSupplied implements Observer.
+func (NopObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}

@@ -1,0 +1,289 @@
+package protocol
+
+import (
+	"lockss/internal/ids"
+	"lockss/internal/sched"
+)
+
+// startEvaluation reserves the evaluation compute slot and arms the run.
+// Evaluation compares every received vote, block by block, against the
+// poller's own replica, repairing blocks the landslide majority says are
+// damaged.
+func (p *Peer) startEvaluation(st *auState, poll *pollState) {
+	if poll.concluded || poll.evalDone {
+		return
+	}
+	votes := 0
+	for _, v := range poll.order {
+		if poll.sols[v].state == solGotVote {
+			votes++
+		}
+	}
+	if votes == 0 {
+		p.concludePoll(st, poll, OutcomeInquorate)
+		return
+	}
+	dur := sched.Duration(float64(st.pollEffort.EvalHash.Duration()) * float64(votes))
+	grace := sched.Time(float64(p.cfg.PollInterval) * 0.15)
+	_, start, ok := p.sch.ReserveSlot(p.env.Now(), dur, poll.deadline+grace, "eval "+st.spec.Name)
+	if !ok {
+		// Hopelessly overloaded: the poll cannot be evaluated in time.
+		p.concludePoll(st, poll, OutcomeInquorate)
+		return
+	}
+	p.env.After(sched.Duration(start-p.env.Now())+dur, func() {
+		p.runEvaluation(st, poll)
+	})
+}
+
+// refVoteFor computes the poller's own vote data under a solicitation's
+// nonce (what the voter's hashes should be if its replica agreed).
+func (p *Peer) refVoteFor(st *auState, sol *solicitation) VoteData {
+	return VoteDataOf(st.replica, sol.nonce[:])
+}
+
+// recomputeDisagreements refreshes every unexcluded vote's first point of
+// disagreement against the poller's current content.
+func (p *Peer) recomputeDisagreements(st *auState, poll *pollState) {
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.state != solGotVote || sol.excluded {
+			continue
+		}
+		sol.dis = sol.vote.FirstDisagreement(p.refVoteFor(st, sol))
+	}
+}
+
+// runEvaluation performs the charged comparison work, derives the
+// evaluation receipts, and enters the landslide/repair loop.
+func (p *Peer) runEvaluation(st *auState, poll *pollState) {
+	if poll.concluded || poll.evalDone {
+		return
+	}
+	poll.evalDone = true
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.state != solGotVote {
+			continue
+		}
+		// Hashing our replica against this vote, and recovering the
+		// receipt byproduct from the vote's effort proof.
+		p.charge(KindEval, st.pollEffort.EvalHash)
+		if p.cfg.EffortBalancing && sol.voteProof != nil {
+			ctx := PollContext(p.id, v, st.spec.ID, poll.id, "vote")
+			if r, ok := p.env.EvalReceipt(ctx, sol.voteProof); ok {
+				sol.receipt = r
+			}
+		}
+	}
+	p.recomputeDisagreements(st, poll)
+	p.evaluationLoop(st, poll)
+}
+
+// evaluationLoop processes blocks in disagreement order until the tally is
+// clean, a repair round trip is needed (it suspends and resumes on the
+// Repair message), or the poll proves inconclusive.
+func (p *Peer) evaluationLoop(st *auState, poll *pollState) {
+	if poll.concluded {
+		return
+	}
+	for {
+		// Find the earliest disagreeing block among unexcluded inner votes.
+		block := -1
+		for _, v := range poll.order {
+			sol := poll.sols[v]
+			if sol.state != solGotVote || sol.excluded || sol.outer || sol.dis < 0 {
+				continue
+			}
+			if block < 0 || sol.dis < block {
+				block = sol.dis
+			}
+		}
+		if block < 0 {
+			p.finishEvaluation(st, poll)
+			return
+		}
+		var agree, disagree int
+		for _, v := range poll.order {
+			sol := poll.sols[v]
+			if sol.state != solGotVote || sol.excluded || sol.outer {
+				continue
+			}
+			if sol.dis == block {
+				disagree++
+			} else {
+				agree++
+			}
+		}
+		switch {
+		case disagree <= p.cfg.MaxDisagree:
+			// Landslide agreement: the disagreeing voters' replicas are
+			// damaged at this block; their votes leave the running tally.
+			for _, v := range poll.order {
+				sol := poll.sols[v]
+				if sol.state == solGotVote && !sol.excluded && !sol.outer && sol.dis == block {
+					sol.excluded = true
+				}
+			}
+			// Outer votes disagreeing here are simply not inserted later;
+			// exclude them too so they stop tracking.
+			for _, v := range poll.order {
+				sol := poll.sols[v]
+				if sol.state == solGotVote && !sol.excluded && sol.outer && sol.dis == block {
+					sol.excluded = true
+				}
+			}
+		case agree <= p.cfg.MaxDisagree:
+			// Landslide disagreement: our replica is damaged at this block.
+			p.requestRepair(st, poll, block)
+			return // resumes in pollerHandleRepair
+		default:
+			// No landslide either way: inconclusive; raise the alarm.
+			p.concludePoll(st, poll, OutcomeInconclusive)
+			return
+		}
+	}
+}
+
+// requestRepair asks a random untried voter that disagrees at block (and
+// thus holds content the landslide endorses) for the block.
+func (p *Peer) requestRepair(st *auState, poll *pollState, block int) {
+	if block != poll.repairBlock {
+		poll.repairBlock = block
+		poll.repairAttempts = 0
+		for _, v := range poll.order {
+			poll.sols[v].tried = false
+		}
+	}
+	var candidates []ids.PeerID
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.state == solGotVote && !sol.excluded && !sol.outer && sol.dis == block && !sol.tried {
+			candidates = append(candidates, v)
+		}
+	}
+	if len(candidates) == 0 || poll.repairAttempts >= p.cfg.MaxRepairAttempts {
+		p.concludePoll(st, poll, OutcomeRepairFailed)
+		return
+	}
+	target := candidates[p.env.Rand().Intn(len(candidates))]
+	poll.sols[target].tried = true
+	poll.repairAttempts++
+	p.send(target, &Msg{
+		Type:   MsgRepairRequest,
+		AU:     st.spec.ID,
+		PollID: poll.id,
+		Poller: p.id,
+		Voter:  target,
+		Block:  int32(block),
+	})
+	poll.repairTimer = p.env.After(p.cfg.RepairTimeout, func() {
+		poll.repairTimer = nil
+		// Supplier unresponsive: voters owe repairs once committed.
+		st.rep.Penalize(repTime(p.env.Now()), target)
+		p.requestRepair(st, poll, block)
+	})
+}
+
+// pollerHandleRepair applies a received repair block and resumes whichever
+// flow was waiting on it (damage repair loop or frivolous repair).
+func (p *Peer) pollerHandleRepair(st *auState, from ids.PeerID, m *Msg) {
+	poll := st.poll
+	if poll == nil || poll.concluded || m.PollID != poll.id {
+		return
+	}
+	sol, ok := poll.sols[from]
+	if !ok || sol.state != solGotVote {
+		return
+	}
+	if poll.repairTimer == nil {
+		return // no repair outstanding
+	}
+	poll.repairTimer()
+	poll.repairTimer = nil
+
+	// Re-hash the repaired block and re-evaluate.
+	p.charge(KindRepair, p.costs.HashCost(st.spec.BlockSize))
+	p.stats.RepairsReceived++
+	if poll.frivolousDone {
+		// Frivolous repair response: content is expected to be identical;
+		// applying it is a no-op. Proceed to receipts.
+		_ = st.replica.ApplyRepair(int(m.Block), m.RepairData)
+		p.sendReceiptsAndConclude(st, poll)
+		return
+	}
+	if err := st.replica.ApplyRepair(int(m.Block), m.RepairData); err == nil {
+		p.obs.RepairApplied(p.id, st.spec.ID, int(m.Block), p.env.Now())
+	}
+	p.recomputeDisagreements(st, poll)
+	p.evaluationLoop(st, poll)
+}
+
+// finishEvaluation runs after the landslide loop drains: optionally issue a
+// frivolous repair (free-riding deterrent), then send receipts and conclude.
+func (p *Peer) finishEvaluation(st *auState, poll *pollState) {
+	if !poll.frivolousDone && p.cfg.FrivolousRepairProb > 0 &&
+		p.env.Rand().Bool(p.cfg.FrivolousRepairProb) {
+		poll.frivolousDone = true
+		// Pick a fully agreeing inner voter and a random block: its content
+		// there provably matches ours, so applying the repair is a no-op.
+		var candidates []ids.PeerID
+		for _, v := range poll.order {
+			sol := poll.sols[v]
+			if sol.state == solGotVote && !sol.excluded && !sol.outer && sol.dis < 0 {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) > 0 {
+			target := candidates[p.env.Rand().Intn(len(candidates))]
+			block := p.env.Rand().Intn(st.spec.Blocks())
+			p.send(target, &Msg{
+				Type:   MsgRepairRequest,
+				AU:     st.spec.ID,
+				PollID: poll.id,
+				Poller: p.id,
+				Voter:  target,
+				Block:  int32(block),
+			})
+			poll.repairTimer = p.env.After(p.cfg.RepairTimeout, func() {
+				poll.repairTimer = nil
+				st.rep.Penalize(repTime(p.env.Now()), target)
+				p.sendReceiptsAndConclude(st, poll)
+			})
+			return // resumes in pollerHandleRepair
+		}
+	}
+	poll.frivolousDone = true
+	p.sendReceiptsAndConclude(st, poll)
+}
+
+// sendReceiptsAndConclude distributes evaluation receipts to every voter
+// that supplied a vote, then settles the poll outcome.
+func (p *Peer) sendReceiptsAndConclude(st *auState, poll *pollState) {
+	if poll.concluded {
+		return
+	}
+	talliedInner := 0
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.state != solGotVote {
+			continue
+		}
+		if !sol.outer {
+			talliedInner++
+		}
+		p.send(v, &Msg{
+			Type:    MsgEvaluationReceipt,
+			AU:      st.spec.ID,
+			PollID:  poll.id,
+			Poller:  p.id,
+			Voter:   v,
+			Receipt: sol.receipt,
+		})
+	}
+	if talliedInner < p.cfg.Quorum {
+		p.concludePoll(st, poll, OutcomeInquorate)
+		return
+	}
+	p.concludePoll(st, poll, OutcomeSuccess)
+}

@@ -1,0 +1,340 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/reputation"
+	"lockss/internal/sched"
+)
+
+// Effort ledger kinds, for diagnostics and the cost-ratio metric.
+const (
+	KindSession      = "session"
+	KindConsider     = "consider"
+	KindIntroGen     = "intro-gen"
+	KindRemainderGen = "remainder-gen"
+	KindVerify       = "verify"
+	KindVote         = "vote"
+	KindEval         = "eval"
+	KindRepair       = "repair"
+	KindReceipt      = "receipt"
+)
+
+// PeerStats counts protocol events at one peer.
+type PeerStats struct {
+	PollsSucceeded    uint64
+	PollsInquorate    uint64
+	PollsInconclusive uint64
+	PollsRepairFailed uint64
+	VotesSupplied     uint64
+	VotesReceived     uint64
+	InvitesConsidered uint64
+	InvitesRefused    uint64
+	InvitesIgnored    uint64
+	RepairsServed     uint64
+	RepairsReceived   uint64
+	AcksTimedOut      uint64
+	VotesTimedOut     uint64
+	ProofsTimedOut    uint64
+	ReceiptsTimedOut  uint64
+	BadProofs         uint64
+}
+
+// sessionKey identifies a voter-side session.
+type sessionKey struct {
+	poller ids.PeerID
+	pollID uint64
+}
+
+// auState is a peer's per-AU protocol state.
+type auState struct {
+	spec       content.AUSpec
+	replica    content.Replica
+	rep        *reputation.List
+	refList    map[ids.PeerID]bool
+	poll       *pollState
+	sessions   map[sessionKey]*voterSession
+	pollEffort effort.PollEffort
+
+	// Self-clocked consideration rate limit (token bucket).
+	considerTokens float64
+	considerAt     sched.Time
+
+	// lastSuccess is the conclusion time of the last successful poll
+	// (negative when none yet).
+	lastSuccess sched.Time
+}
+
+// Peer is a LOCKSS peer: it runs polls on its AUs as a poller and serves
+// votes and repairs as a voter. A Peer is single-threaded: the environment
+// must deliver messages and timer callbacks sequentially.
+type Peer struct {
+	id      ids.PeerID
+	cfg     Config
+	costs   effort.CostModel
+	env     Env
+	obs     Observer
+	sch     *sched.Schedule
+	ledger  *effort.Ledger
+	aus     map[content.AUID]*auState
+	auOrder []content.AUID
+	friends []ids.PeerID
+	pollSeq uint32
+	stats   PeerStats
+	started bool
+}
+
+// New constructs a peer. The observer may be nil.
+func New(id ids.PeerID, cfg Config, costs effort.CostModel, env Env, obs Observer) (*Peer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Peer{
+		id:     id,
+		cfg:    cfg,
+		costs:  costs,
+		env:    env,
+		obs:    obs,
+		sch:    sched.New(),
+		ledger: effort.NewLedger(),
+		aus:    make(map[content.AUID]*auState),
+	}, nil
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() ids.PeerID { return p.id }
+
+// Config returns the peer's protocol configuration.
+func (p *Peer) Config() Config { return p.cfg }
+
+// Schedule exposes the task schedule (for the layering hook and tests).
+func (p *Peer) Schedule() *sched.Schedule { return p.sch }
+
+// Ledger exposes the peer's effort ledger.
+func (p *Peer) Ledger() *effort.Ledger { return p.ledger }
+
+// Stats returns a snapshot of the peer's counters.
+func (p *Peer) Stats() PeerStats { return p.stats }
+
+// SetFriends installs the operator-maintained friends list.
+func (p *Peer) SetFriends(friends []ids.PeerID) {
+	p.friends = nil
+	for _, f := range friends {
+		if f != p.id {
+			p.friends = append(p.friends, f)
+		}
+	}
+}
+
+// AddFriend appends one peer to the operator-maintained friends list at
+// runtime (operators coordinate when a new library joins the network).
+func (p *Peer) AddFriend(f ids.PeerID) {
+	if f == p.id {
+		return
+	}
+	for _, existing := range p.friends {
+		if existing == f {
+			return
+		}
+	}
+	p.friends = append(p.friends, f)
+}
+
+// AddToReferenceList inserts a peer into the reference list for an AU, as a
+// deliberate operator action (mutual friendship on join).
+func (p *Peer) AddToReferenceList(au content.AUID, peer ids.PeerID) {
+	st, ok := p.aus[au]
+	if !ok || peer == p.id {
+		return
+	}
+	st.refList[peer] = true
+}
+
+// AddAU registers a replica to preserve, with an initial reference list
+// (typically friends plus a bootstrap sample of the population). Must be
+// called before Start.
+func (p *Peer) AddAU(replica content.Replica, refList []ids.PeerID) error {
+	if p.started {
+		return fmt.Errorf("protocol: AddAU after Start")
+	}
+	spec := replica.Spec()
+	if _, dup := p.aus[spec.ID]; dup {
+		return fmt.Errorf("protocol: duplicate AU %v", spec.ID)
+	}
+	st := &auState{
+		spec:       spec,
+		replica:    replica,
+		rep:        reputation.NewList(p.cfg.reputationParams()),
+		refList:    make(map[ids.PeerID]bool),
+		sessions:   make(map[sessionKey]*voterSession),
+		pollEffort: p.costs.PollEffortFor(spec.Size, spec.Blocks()),
+		considerAt: -1,
+		// considerTokens starts full.
+		considerTokens: p.cfg.ConsiderBurst,
+		lastSuccess:    -1,
+	}
+	for _, r := range refList {
+		if r != p.id {
+			st.refList[r] = true
+		}
+	}
+	p.aus[spec.ID] = st
+	p.auOrder = append(p.auOrder, spec.ID)
+	return nil
+}
+
+// AUs returns the preserved AU IDs in registration order.
+func (p *Peer) AUs() []content.AUID {
+	out := make([]content.AUID, len(p.auOrder))
+	copy(out, p.auOrder)
+	return out
+}
+
+// Replica returns the peer's replica of an AU, or nil.
+func (p *Peer) Replica(au content.AUID) content.Replica {
+	if st, ok := p.aus[au]; ok {
+		return st.replica
+	}
+	return nil
+}
+
+// ReferenceList returns the current reference list for an AU.
+func (p *Peer) ReferenceList(au content.AUID) []ids.PeerID {
+	st, ok := p.aus[au]
+	if !ok {
+		return nil
+	}
+	out := make([]ids.PeerID, 0, len(st.refList))
+	for id := range st.refList {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Reputation exposes the known-peers list for an AU (for tests, metrics and
+// the adversary's insider-information oracle).
+func (p *Peer) Reputation(au content.AUID) *reputation.List {
+	if st, ok := p.aus[au]; ok {
+		return st.rep
+	}
+	return nil
+}
+
+// SeedGrade initializes a peer's grade in the known-peers list of one AU.
+// Population builders use it to model steady-state acquaintance; the
+// brute-force experiment uses it to start minions in debt (the paper's
+// conservative initialization).
+func (p *Peer) SeedGrade(au content.AUID, peer ids.PeerID, g reputation.Grade) {
+	st, ok := p.aus[au]
+	if !ok || peer == p.id {
+		return
+	}
+	now := p.env.Now()
+	switch g {
+	case reputation.Debt:
+		st.rep.Penalize(reputation.Time(now), peer)
+	case reputation.Even:
+		st.rep.Penalize(reputation.Time(now), peer)
+		st.rep.Raise(reputation.Time(now), peer)
+	case reputation.Credit:
+		st.rep.Penalize(reputation.Time(now), peer)
+		st.rep.Raise(reputation.Time(now), peer)
+		st.rep.Raise(reputation.Time(now), peer)
+	}
+}
+
+// Start schedules the first poll on every AU at a jittered phase within the
+// poll interval, desynchronizing peers and AUs from the outset.
+func (p *Peer) Start() {
+	p.started = true
+	for _, au := range p.auOrder {
+		st := p.aus[au]
+		// First poll concludes at a random phase within [0.1, 1.1) of an
+		// interval, so poll deadlines are spread uniformly in steady state.
+		frac := 0.1 + p.cfg.PollJitter*p.env.Rand().Float64()
+		delay := sched.Duration(float64(p.cfg.PollInterval) * frac)
+		deadline := p.env.Now() + sched.Time(delay)
+		p.startPoll(st, deadline)
+	}
+}
+
+// Receive is the transport entry point.
+func (p *Peer) Receive(from ids.PeerID, m *Msg) {
+	if m == nil {
+		return
+	}
+	st, ok := p.aus[m.AU]
+	if !ok {
+		return // not preserving this AU
+	}
+	switch m.Type {
+	case MsgPoll:
+		p.voterHandlePoll(st, from, m)
+	case MsgPollAck:
+		p.pollerHandleAck(st, from, m)
+	case MsgPollProof:
+		p.voterHandleProof(st, from, m)
+	case MsgVote:
+		p.pollerHandleVote(st, from, m)
+	case MsgRepairRequest:
+		p.voterHandleRepairRequest(st, from, m)
+	case MsgRepair:
+		p.pollerHandleRepair(st, from, m)
+	case MsgEvaluationReceipt:
+		p.voterHandleReceipt(st, from, m)
+	}
+}
+
+// charge records defender effort.
+func (p *Peer) charge(kind string, e effort.Seconds) {
+	p.ledger.Charge(kind, e)
+}
+
+// repTime converts the environment clock for the reputation package.
+func repTime(t sched.Time) reputation.Time { return reputation.Time(t) }
+
+// gcSchedules trims expired reservations; called at poll boundaries.
+func (p *Peer) gcSchedule() {
+	p.sch.GC(p.env.Now())
+}
+
+// send transmits a message, filling in the sender-side identity fields.
+func (p *Peer) send(to ids.PeerID, m *Msg) {
+	p.env.Send(to, m)
+}
+
+// sortPeers orders peer IDs ascending; pools derived from map iteration
+// must be sorted before random sampling to keep runs deterministic.
+func sortPeers(s []ids.PeerID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// sampleRefList draws up to n distinct reference-list members, excluding
+// the exclude set.
+func (p *Peer) sampleRefList(st *auState, n int, exclude map[ids.PeerID]bool) []ids.PeerID {
+	pool := make([]ids.PeerID, 0, len(st.refList))
+	for id := range st.refList {
+		if id == p.id || (exclude != nil && exclude[id]) {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	sortPeers(pool)
+	if n >= len(pool) {
+		p.env.Rand().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		return pool
+	}
+	idx := p.env.Rand().Sample(len(pool), n)
+	out := make([]ids.PeerID, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}

@@ -1,0 +1,486 @@
+package protocol
+
+import (
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/sched"
+)
+
+// solicitState tracks one vote solicitation's progress.
+type solicitState uint8
+
+const (
+	solUnsent solicitState = iota
+	solAwaitAck
+	solAwaitProofSlot // accepted; remainder effort being generated
+	solAwaitVote
+	solGotVote
+	solRetryWait // refused or timed out; will retry
+	solFailed
+)
+
+// solicitation is the poller's record of one invitee.
+type solicitation struct {
+	peer     ids.PeerID
+	outer    bool
+	state    solicitState
+	attempts int
+	nonce    Nonce
+	voteBy   sched.Time
+	cancel   func() // pending timer, if any
+
+	vote      VoteData
+	voteProof effort.Proof
+	receipt   effort.Receipt // evaluation byproduct, derived during eval
+
+	// Evaluation bookkeeping.
+	dis      int // first disagreement vs poller's current content
+	excluded bool
+	tried    bool // tried as a repair source for the current block
+}
+
+// pollState is the poller side of one poll.
+type pollState struct {
+	id        uint64
+	started   sched.Time
+	deadline  sched.Time
+	sols      map[ids.PeerID]*solicitation
+	order     []ids.PeerID
+	noms      map[ids.PeerID]bool // outer-circle candidate pool
+	outerSent bool
+	evalDone  bool
+	concluded bool
+
+	// Repair state during evaluation.
+	repairBlock    int
+	repairAttempts int
+	repairTimer    func()
+	frivolousDone  bool
+
+	guard func() // conclude-guard timer cancel
+}
+
+// startPoll begins a new poll on the AU, to conclude at deadline.
+func (p *Peer) startPoll(st *auState, deadline sched.Time) {
+	p.gcSchedule()
+	p.pollSeq++
+	poll := &pollState{
+		id:       uint64(p.id)<<32 | uint64(p.pollSeq),
+		started:  p.env.Now(),
+		deadline: deadline,
+		sols:     make(map[ids.PeerID]*solicitation),
+		noms:     make(map[ids.PeerID]bool),
+	}
+	st.poll = poll
+	window := sched.Duration(deadline - poll.started)
+	if window <= 0 {
+		window = p.cfg.PollInterval
+		poll.deadline = poll.started + sched.Time(window)
+	}
+
+	// Invite the inner circle at desynchronized instants across the
+	// solicitation phase. With desynchronization disabled (ablation), all
+	// invitations fire at once and votes are due within a single narrow
+	// window, recreating the synchronous-rendezvous weakness of §5.2.
+	invitees := p.sampleRefList(st, p.cfg.InnerCircle, nil)
+	solicitSpan := float64(window) * p.cfg.SolicitFrac
+	for _, v := range invitees {
+		sol := &solicitation{peer: v, dis: -1}
+		poll.sols[v] = sol
+		poll.order = append(poll.order, v)
+		var at sched.Duration
+		if p.cfg.Desynchronize {
+			at = sched.Duration(p.env.Rand().Float64() * solicitSpan)
+		}
+		p.scheduleSolicitation(st, poll, sol, at)
+	}
+
+	// Outer-circle launch.
+	outerDelay := sched.Duration(float64(window) * p.cfg.OuterStartFrac)
+	cancelOuter := p.env.After(outerDelay, func() { p.launchOuterCircle(st, poll) })
+
+	// Evaluation launch.
+	evalDelay := sched.Duration(float64(window) * p.cfg.EvalFrac)
+	cancelEval := p.env.After(evalDelay, func() { p.startEvaluation(st, poll) })
+
+	// Conclude guard: whatever happens, the poll ends and the next begins.
+	grace := sched.Duration(float64(window) * 0.25)
+	cancelGuard := p.env.After(sched.Duration(poll.deadline-poll.started)+grace, func() {
+		p.concludePoll(st, poll, OutcomeInquorate)
+	})
+	poll.guard = func() { cancelOuter(); cancelEval(); cancelGuard() }
+}
+
+// scheduleSolicitation arms a timer to send the Poll message after delay.
+func (p *Peer) scheduleSolicitation(st *auState, poll *pollState, sol *solicitation, delay sched.Duration) {
+	sol.state = solUnsent
+	sol.cancel = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
+}
+
+// sendPollInvitation generates the introductory effort and sends Poll.
+func (p *Peer) sendPollInvitation(st *auState, poll *pollState, sol *solicitation) {
+	if poll.concluded {
+		return
+	}
+	sol.attempts++
+	now := p.env.Now()
+	window := p.cfg.VoteWindow
+	if !p.cfg.Desynchronize {
+		// Synchronous-rendezvous variant (§5.2 ablation): all votes must
+		// materialize within a narrow common window, so the poll needs a
+		// quorum of voters simultaneously free.
+		window /= 8
+	}
+	voteBy := now + sched.Time(window)
+	if voteBy > poll.deadline {
+		voteBy = poll.deadline
+	}
+	sol.voteBy = voteBy
+
+	m := &Msg{
+		Type:         MsgPoll,
+		AU:           st.spec.ID,
+		PollID:       poll.id,
+		Poller:       p.id,
+		Voter:        sol.peer,
+		VoteBy:       voteBy,
+		PollDeadline: poll.deadline,
+	}
+	p.charge(KindSession, p.costs.SessionSetup)
+	if p.cfg.EffortBalancing {
+		intro := st.pollEffort.Intro
+		proof, _ := p.env.MakeProof(m.Context("intro"), intro)
+		m.Proof = proof
+		p.charge(KindIntroGen, intro)
+	}
+	sol.state = solAwaitAck
+	p.send(sol.peer, m)
+
+	// Ack timeout: silent drops (admission control, pipe stoppage) look
+	// identical to losses; retry later in the solicitation phase.
+	sol.cancel = p.env.After(p.cfg.AckTimeout, func() {
+		p.stats.AcksTimedOut++
+		p.retrySolicitation(st, poll, sol)
+	})
+}
+
+// retrySolicitation reschedules a reluctant or unresponsive invitee at a
+// random later instant within the retry window, or gives up.
+func (p *Peer) retrySolicitation(st *auState, poll *pollState, sol *solicitation) {
+	if poll.concluded {
+		return
+	}
+	window := sched.Duration(poll.deadline - poll.started)
+	retryBy := poll.started + sched.Time(float64(window)*p.cfg.RetryFrac)
+	now := p.env.Now()
+	if sol.attempts >= p.cfg.MaxSolicitAttempts || now >= retryBy {
+		sol.state = solFailed
+		return
+	}
+	sol.state = solRetryWait
+	span := float64(retryBy - now)
+	delay := sched.Duration(p.env.Rand().Float64() * span)
+	sol.cancel = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
+}
+
+// pollerHandleAck processes a PollAck.
+func (p *Peer) pollerHandleAck(st *auState, from ids.PeerID, m *Msg) {
+	poll := st.poll
+	if poll == nil || poll.concluded || m.PollID != poll.id {
+		return
+	}
+	sol, ok := poll.sols[from]
+	if !ok || sol.state != solAwaitAck {
+		return
+	}
+	if sol.cancel != nil {
+		sol.cancel()
+		sol.cancel = nil
+	}
+	if !m.Accept {
+		p.retrySolicitation(st, poll, sol)
+		return
+	}
+
+	// Acceptance: generate the remaining effort on our own schedule, then
+	// send PollProof with the per-voter nonce.
+	sol.state = solAwaitProofSlot
+	var nonce Nonce
+	r := p.env.Rand()
+	for i := 0; i < len(nonce); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(nonce); j++ {
+			nonce[i+j] = byte(v >> (8 * j))
+		}
+	}
+	sol.nonce = nonce
+
+	sendProof := func() {
+		if poll.concluded || sol.state != solAwaitProofSlot {
+			return
+		}
+		pm := &Msg{
+			Type:   MsgPollProof,
+			AU:     st.spec.ID,
+			PollID: poll.id,
+			Poller: p.id,
+			Voter:  sol.peer,
+			Nonce:  sol.nonce,
+		}
+		if p.cfg.EffortBalancing {
+			rem := st.pollEffort.Remainder
+			proof, _ := p.env.MakeProof(pm.Context("remainder"), rem)
+			pm.Proof = proof
+			p.charge(KindRemainderGen, rem)
+		}
+		sol.state = solAwaitVote
+		p.send(sol.peer, pm)
+		// Vote timeout: the voter committed; failure to deliver is
+		// penalized.
+		wait := sched.Duration(sol.voteBy-p.env.Now()) + p.cfg.VoteSlack
+		sol.cancel = p.env.After(wait, func() {
+			if sol.state == solAwaitVote {
+				sol.state = solFailed
+				p.stats.VotesTimedOut++
+				st.rep.Penalize(repTime(p.env.Now()), sol.peer)
+			}
+		})
+	}
+
+	if !p.cfg.EffortBalancing {
+		sendProof()
+		return
+	}
+	// Reserve a slot for remainder generation; it is a real compute task.
+	genDur := sched.Duration(st.pollEffort.Remainder.Duration())
+	id, start, ok := p.sch.ReserveSlot(p.env.Now(), genDur, poll.deadline, "remainder-gen")
+	if !ok {
+		// Too busy to honor the acceptance; abandon this solicitation.
+		sol.state = solFailed
+		return
+	}
+	_ = id
+	sol.cancel = p.env.After(sched.Duration(start-p.env.Now())+genDur, sendProof)
+}
+
+// pollerHandleVote processes an incoming Vote.
+func (p *Peer) pollerHandleVote(st *auState, from ids.PeerID, m *Msg) {
+	poll := st.poll
+	if poll == nil || poll.concluded || m.PollID != poll.id {
+		return // unsolicited votes are ignored (vote-flood defense)
+	}
+	sol, ok := poll.sols[from]
+	if !ok || sol.state != solAwaitVote {
+		return
+	}
+	if sol.cancel != nil {
+		sol.cancel()
+		sol.cancel = nil
+	}
+	if m.Vote == nil || m.Vote.Blocks() != st.spec.Blocks() {
+		sol.state = solFailed
+		st.rep.Penalize(repTime(p.env.Now()), from)
+		return
+	}
+	if p.cfg.EffortBalancing {
+		// Verify the vote's effort proof (covers one block hash).
+		p.charge(KindVerify, p.costs.VerifyCost(st.pollEffort.VoteProof))
+		if !p.env.VerifyProof(m.Context("vote"), m.Proof, st.pollEffort.VoteProof) {
+			p.stats.BadProofs++
+			sol.state = solFailed
+			st.rep.Penalize(repTime(p.env.Now()), from)
+			return
+		}
+	}
+	sol.state = solGotVote
+	sol.vote = m.Vote
+	sol.voteProof = m.Proof
+	p.stats.VotesReceived++
+	// The voter supplied a valid vote: raise its grade.
+	st.rep.Raise(repTime(p.env.Now()), from)
+
+	// Discovery: randomly partition the vote's peer identities into
+	// outer-circle nominations and introductions (§5.1).
+	for _, nom := range m.Nominations {
+		if nom == p.id {
+			continue
+		}
+		if p.cfg.Introductions && p.env.Rand().Bool(0.5) {
+			st.rep.AddIntroduction(repTime(p.env.Now()), from, nom)
+		} else if !st.refList[nom] {
+			poll.noms[nom] = true
+		}
+	}
+}
+
+// launchOuterCircle samples discovered peers and solicits their votes.
+func (p *Peer) launchOuterCircle(st *auState, poll *pollState) {
+	if poll.concluded || poll.outerSent {
+		return
+	}
+	poll.outerSent = true
+	pool := make([]ids.PeerID, 0, len(poll.noms))
+	for id := range poll.noms {
+		if id == p.id || st.refList[id] {
+			continue
+		}
+		if _, already := poll.sols[id]; already {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	sortPeers(pool)
+	n := p.cfg.OuterCircle
+	var chosen []ids.PeerID
+	if n >= len(pool) {
+		chosen = pool
+	} else {
+		idx := p.env.Rand().Sample(len(pool), n)
+		chosen = make([]ids.PeerID, n)
+		for i, j := range idx {
+			chosen[i] = pool[j]
+		}
+	}
+	window := sched.Duration(poll.deadline - poll.started)
+	start := poll.started + sched.Time(float64(window)*p.cfg.OuterStartFrac)
+	end := poll.started + sched.Time(float64(window)*p.cfg.OuterEndFrac)
+	span := float64(end - start)
+	now := p.env.Now()
+	for _, v := range chosen {
+		sol := &solicitation{peer: v, outer: true, dis: -1}
+		poll.sols[v] = sol
+		poll.order = append(poll.order, v)
+		var at sched.Duration
+		if p.cfg.Desynchronize {
+			at = sched.Duration(p.env.Rand().Float64() * span)
+		}
+		fire := start + sched.Time(at)
+		if fire < now {
+			fire = now
+		}
+		p.scheduleSolicitation(st, poll, sol, sched.Duration(fire-now))
+	}
+}
+
+// concludePoll finalizes a poll, updates the reference list on success, and
+// immediately schedules the next poll at the fixed autonomous rate.
+func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
+	if poll.concluded {
+		return
+	}
+	poll.concluded = true
+	if poll.guard != nil {
+		poll.guard()
+	}
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.cancel != nil {
+			sol.cancel()
+			sol.cancel = nil
+		}
+	}
+	if poll.repairTimer != nil {
+		poll.repairTimer()
+		poll.repairTimer = nil
+	}
+	now := p.env.Now()
+	switch outcome {
+	case OutcomeSuccess:
+		p.stats.PollsSucceeded++
+		st.lastSuccess = now
+		p.updateReferenceList(st, poll)
+	case OutcomeInquorate:
+		p.stats.PollsInquorate++
+		// No outcome was determined, so nobody is removed — but discovery
+		// still made progress: outer-circle voters whose votes agreed are
+		// usable in future polls. Without this, a cold-started peer whose
+		// early polls are inquorate could never grow its reference list.
+		if poll.evalDone {
+			for _, v := range poll.order {
+				sol := poll.sols[v]
+				if sol.outer && sol.state == solGotVote && !sol.excluded && sol.dis < 0 {
+					st.refList[v] = true
+				}
+			}
+		}
+	case OutcomeInconclusive:
+		p.stats.PollsInconclusive++
+		p.obs.Alarm(p.id, st.spec.ID, now)
+	case OutcomeRepairFailed:
+		p.stats.PollsRepairFailed++
+	}
+	p.obs.PollConcluded(p.id, st.spec.ID, outcome, now)
+
+	// Fixed-rate restart: the next poll concludes one interval after this
+	// poll's scheduled deadline, regardless of adversity (rate limitation:
+	// peers do not back off, nor hurry).
+	nextDeadline := poll.deadline + sched.Time(p.cfg.PollInterval)
+	if nextDeadline <= now {
+		nextDeadline = now + sched.Time(p.cfg.PollInterval)
+	}
+	st.poll = nil
+	p.startPoll(st, nextDeadline)
+}
+
+// updateReferenceList applies the paper's conclusion-time churn: remove the
+// inner-circle voters whose votes determined the outcome, insert agreeing
+// outer-circle voters, and replenish from the friends list.
+func (p *Peer) updateReferenceList(st *auState, poll *pollState) {
+	now := repTime(p.env.Now())
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		if sol.state != solGotVote {
+			continue
+		}
+		if sol.outer {
+			if !sol.excluded && sol.dis < 0 {
+				st.refList[v] = true
+			}
+			continue
+		}
+		// Tallied inner voter: remove, and forget its introductions.
+		delete(st.refList, v)
+		st.rep.ForgetIntroducer(v)
+	}
+	_ = now
+	// Replenish toward the target from friends, then re-admit tallied
+	// voters if the population is too small to refill otherwise.
+	if len(st.refList) < p.cfg.RefListTarget {
+		perm := p.env.Rand().Perm(len(p.friends))
+		for _, i := range perm {
+			if len(st.refList) >= p.cfg.RefListTarget {
+				break
+			}
+			f := p.friends[i]
+			if f != p.id {
+				st.refList[f] = true
+			}
+		}
+	}
+	if len(st.refList) < p.cfg.Quorum {
+		for _, v := range poll.order {
+			if len(st.refList) >= p.cfg.RefListTarget {
+				break
+			}
+			sol := poll.sols[v]
+			if sol.state == solGotVote && !sol.excluded && v != p.id {
+				st.refList[v] = true
+			}
+		}
+	}
+	// Trim above the maximum, dropping random members.
+	if len(st.refList) > p.cfg.RefListMax {
+		members := make([]ids.PeerID, 0, len(st.refList))
+		for id := range st.refList {
+			members = append(members, id)
+		}
+		sortPeers(members)
+		for len(st.refList) > p.cfg.RefListMax {
+			i := p.env.Rand().Intn(len(members))
+			victim := members[i]
+			members = append(members[:i], members[i+1:]...)
+			delete(st.refList, victim)
+			st.rep.ForgetIntroducer(victim)
+		}
+	}
+}

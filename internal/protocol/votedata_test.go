@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lockss/internal/content"
+	"lockss/internal/prng"
+)
+
+func spec4() content.AUSpec {
+	return content.AUSpec{ID: 1, Name: "t", Size: 4096, BlockSize: 1024}
+}
+
+func TestVoteDataOfChoosesRepresentation(t *testing.T) {
+	simR := content.NewSimReplica(spec4(), 1)
+	if _, ok := VoteDataOf(simR, []byte("n")).(SimVote); !ok {
+		t.Error("SimReplica should produce SimVote")
+	}
+	realR := content.NewRealReplica(spec4(), 1)
+	if _, ok := VoteDataOf(realR, []byte("n")).(HashVote); !ok {
+		t.Error("RealReplica should produce HashVote")
+	}
+}
+
+func TestSimVoteFirstDisagreement(t *testing.T) {
+	mk := func(blocks int, dam ...content.DamageEntry) SimVote {
+		return SimVote{NumBlocks: blocks, Dam: dam}
+	}
+	cases := []struct {
+		a, b SimVote
+		want int
+	}{
+		{mk(4), mk(4), -1},
+		{mk(4, content.DamageEntry{Block: 2, Mark: 5}), mk(4), 2},
+		{mk(4), mk(4, content.DamageEntry{Block: 0, Mark: 5}), 0},
+		{mk(4, content.DamageEntry{Block: 1, Mark: 5}), mk(4, content.DamageEntry{Block: 1, Mark: 5}), -1},
+		{mk(4, content.DamageEntry{Block: 1, Mark: 5}), mk(4, content.DamageEntry{Block: 1, Mark: 6}), 1},
+		{mk(4, content.DamageEntry{Block: 1, Mark: 5}), mk(4, content.DamageEntry{Block: 3, Mark: 5}), 1},
+		{mk(4, content.DamageEntry{Block: 3, Mark: 5}), mk(4, content.DamageEntry{Block: 1, Mark: 5}), 1},
+		{mk(4), mk(5), 4}, // length mismatch disagrees at the boundary
+	}
+	for i, c := range cases {
+		if got := c.a.FirstDisagreement(c.b); got != c.want {
+			t.Errorf("case %d: FirstDisagreement = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestHashVoteFirstDisagreement(t *testing.T) {
+	h := func(vals ...byte) HashVote {
+		hv := HashVote{Hashes: make([]content.Hash, len(vals))}
+		for i, v := range vals {
+			hv.Hashes[i][0] = v
+		}
+		return hv
+	}
+	if d := h(1, 2, 3).FirstDisagreement(h(1, 2, 3)); d != -1 {
+		t.Errorf("equal votes disagree at %d", d)
+	}
+	if d := h(1, 2, 3).FirstDisagreement(h(1, 9, 3)); d != 1 {
+		t.Errorf("FirstDisagreement = %d, want 1", d)
+	}
+	if d := h(1, 2).FirstDisagreement(h(1, 2, 3)); d != 2 {
+		t.Errorf("length mismatch = %d, want 2", d)
+	}
+}
+
+func TestIncomparableRepresentationsDisagree(t *testing.T) {
+	sv := SimVote{NumBlocks: 4}
+	hv := HashVote{Hashes: make([]content.Hash, 4)}
+	if sv.FirstDisagreement(hv) != 0 || hv.FirstDisagreement(sv) != 0 {
+		t.Error("mixed representations should disagree immediately")
+	}
+}
+
+// TestSimHashEquivalence is the load-bearing property: for any damage
+// pattern, the symbolic vote comparison and the real hash comparison find
+// the same first point of disagreement.
+func TestSimHashEquivalence(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rnd := prng.New(seed)
+		spec := content.AUSpec{ID: 2, Name: "p", Size: 8 * 512, BlockSize: 512}
+		simA, simB := content.NewSimReplica(spec, 1), content.NewSimReplica(spec, 2)
+		realA, realB := content.NewRealReplica(spec, 1), content.NewRealReplica(spec, 2)
+		for i := 0; i < 4; i++ {
+			if rnd.Bool(0.6) {
+				b := rnd.Intn(spec.Blocks())
+				simA.Damage(b)
+				realA.Damage(b)
+			}
+			if rnd.Bool(0.6) {
+				b := rnd.Intn(spec.Blocks())
+				simB.Damage(b)
+				realB.Damage(b)
+			}
+		}
+		nonce := []byte("nonce")
+		simDis := VoteDataOf(simA, nonce).FirstDisagreement(VoteDataOf(simB, nonce))
+		realDis := VoteDataOf(realA, nonce).FirstDisagreement(VoteDataOf(realB, nonce))
+		if simDis != realDis {
+			t.Logf("seed %d: sim=%d real=%d", seed, simDis, realDis)
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireBytesParity(t *testing.T) {
+	// Network timing must not depend on the vote representation.
+	spec := spec4()
+	sv := VoteDataOf(content.NewSimReplica(spec, 1), []byte("n"))
+	hv := VoteDataOf(content.NewRealReplica(spec, 1), []byte("n"))
+	if sv.WireBytes() != hv.WireBytes() {
+		t.Errorf("wire size differs: sim %d, hash %d", sv.WireBytes(), hv.WireBytes())
+	}
+	if sv.Blocks() != hv.Blocks() {
+		t.Errorf("block count differs")
+	}
+}

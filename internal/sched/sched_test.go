@@ -1,0 +1,241 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lockss/internal/prng"
+)
+
+func TestReserveAndFind(t *testing.T) {
+	s := New()
+	// Reserve [100, 200).
+	id, err := s.Reserve(100, 100, "a")
+	if err != nil || id == 0 {
+		t.Fatalf("Reserve: %v", err)
+	}
+	// A 50-long task from 0 fits before it.
+	start, ok := s.FindSlot(0, 50, 1000)
+	if !ok || start != 0 {
+		t.Errorf("FindSlot = %v,%v; want 0,true", start, ok)
+	}
+	// A 150-long task from 0 must go after [100,200).
+	start, ok = s.FindSlot(0, 150, 1000)
+	if !ok || start != 200 {
+		t.Errorf("FindSlot(150) = %v,%v; want 200,true", start, ok)
+	}
+	// No room before deadline 300 for a 150-long task starting at 90.
+	_, ok = s.FindSlot(90, 150, 300)
+	if ok {
+		t.Error("FindSlot should fail when nothing fits before the deadline")
+	}
+}
+
+func TestReserveOverlapFails(t *testing.T) {
+	s := New()
+	if _, err := s.Reserve(100, 100, "a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ start, d Time }{
+		{50, 100}, {150, 10}, {199, 5}, {100, 100}, {0, 101},
+	} {
+		if _, err := s.Reserve(c.start, Duration(c.d), "x"); err == nil {
+			t.Errorf("Reserve(%d,%d) should overlap", c.start, c.d)
+		}
+	}
+	// Adjacent intervals are fine.
+	if _, err := s.Reserve(200, 50, "after"); err != nil {
+		t.Errorf("adjacent reserve failed: %v", err)
+	}
+	if _, err := s.Reserve(0, 100, "before"); err != nil {
+		t.Errorf("adjacent reserve failed: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := New()
+	id, _ := s.Reserve(100, 100, "a")
+	if !s.Release(id) {
+		t.Error("Release returned false")
+	}
+	if s.Release(id) {
+		t.Error("double Release returned true")
+	}
+	if _, err := s.Reserve(100, 100, "b"); err != nil {
+		t.Errorf("slot not freed: %v", err)
+	}
+}
+
+func TestGC(t *testing.T) {
+	s := New()
+	s.Reserve(0, 10, "old")
+	s.Reserve(20, 10, "mid")
+	s.Reserve(100, 10, "new")
+	s.GC(50)
+	if s.Len() != 1 {
+		t.Errorf("GC left %d tasks, want 1", s.Len())
+	}
+	if s.Tasks()[0].Label != "new" {
+		t.Errorf("wrong survivor: %v", s.Tasks()[0].Label)
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	s := New()
+	s.Reserve(0, 50, "a")
+	s.Reserve(100, 50, "b")
+	if f := s.BusyFraction(0, 200); f != 0.5 {
+		t.Errorf("BusyFraction = %v, want 0.5", f)
+	}
+	if f := s.BusyFraction(0, 50); f != 1.0 {
+		t.Errorf("BusyFraction = %v, want 1", f)
+	}
+	if f := s.BusyFraction(50, 100); f != 0 {
+		t.Errorf("BusyFraction = %v, want 0", f)
+	}
+}
+
+func TestBackgroundLoad(t *testing.T) {
+	s := New()
+	s.Background = func(from, to Time) []Task {
+		// Permanently busy [0, 1000).
+		if to <= 0 || from >= 1000 {
+			return nil
+		}
+		return []Task{{Start: 0, End: 1000, Label: "bg"}}
+	}
+	start, ok := s.FindSlot(0, 10, 2000)
+	if !ok || start != 1000 {
+		t.Errorf("FindSlot with background = %v,%v; want 1000,true", start, ok)
+	}
+	// Background does not block explicit reservation (advisory only).
+	if _, err := s.Reserve(500, 10, "forced"); err != nil {
+		t.Errorf("background blocked explicit reserve: %v", err)
+	}
+	if f := s.BusyFraction(0, 1000); f != 1.0 {
+		t.Errorf("BusyFraction with background = %v", f)
+	}
+}
+
+func TestFindSlotZeroDuration(t *testing.T) {
+	s := New()
+	start, ok := s.FindSlot(42, 0, 100)
+	if !ok || start != 42 {
+		t.Errorf("zero-duration slot = %v,%v", start, ok)
+	}
+}
+
+func TestReserveSlot(t *testing.T) {
+	s := New()
+	s.Reserve(0, 100, "head")
+	id, start, ok := s.ReserveSlot(0, 50, 1000, "tail")
+	if !ok || start != 100 || id == 0 {
+		t.Errorf("ReserveSlot = %v,%v,%v", id, start, ok)
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyRandomOps drives random reserve/release/gc operations and
+// checks the schedule invariant plus non-overlap of found slots.
+func TestPropertyRandomOps(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := prng.New(seed)
+		s := New()
+		var live []TaskID
+		now := Time(0)
+		for op := 0; op < 300; op++ {
+			switch r.Intn(5) {
+			case 0, 1: // reserve via FindSlot
+				d := Duration(r.Intn(100) + 1)
+				deadline := now + Time(r.Intn(5000)+200)
+				if id, start, ok := s.ReserveSlot(now, d, deadline, "t"); ok {
+					if start < now || start+Time(d) > deadline {
+						return false
+					}
+					live = append(live, id)
+				}
+			case 2: // direct reserve at a random spot (may fail)
+				start := now + Time(r.Intn(2000))
+				if id, err := s.Reserve(start, Duration(r.Intn(50)+1), "d"); err == nil {
+					live = append(live, id)
+				}
+			case 3: // release random
+				if len(live) > 0 {
+					i := r.Intn(len(live))
+					s.Release(live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 4: // advance time and GC
+				now += Time(r.Intn(200))
+				s.GC(now)
+			}
+			if err := s.Validate(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyFindSlotRespectsCommitments: a found slot never overlaps an
+// existing commitment.
+func TestPropertyFindSlotRespectsCommitments(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := prng.New(seed)
+		s := New()
+		type iv struct{ lo, hi Time }
+		var ivs []iv
+		for i := 0; i < 30; i++ {
+			start := Time(r.Intn(3000))
+			d := Duration(r.Intn(80) + 1)
+			if _, err := s.Reserve(start, d, "x"); err == nil {
+				ivs = append(ivs, iv{start, start + Time(d)})
+			}
+		}
+		for q := 0; q < 50; q++ {
+			earliest := Time(r.Intn(3000))
+			d := Duration(r.Intn(120) + 1)
+			deadline := earliest + Time(r.Intn(3000)+1)
+			start, ok := s.FindSlot(earliest, d, deadline)
+			if !ok {
+				continue
+			}
+			end := start + Time(d)
+			if start < earliest || end > deadline {
+				return false
+			}
+			for _, v := range ivs {
+				if start < v.hi && v.lo < end {
+					return false // overlap
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommittedAccounting(t *testing.T) {
+	s := New()
+	s.Reserve(0, 10, "a")
+	s.Reserve(20, 30, "b")
+	if s.CommittedTotal != 40 || s.CommittedCount != 2 {
+		t.Errorf("accounting: total=%v count=%v", s.CommittedTotal, s.CommittedCount)
+	}
+	id, _ := s.Reserve(100, 5, "c")
+	s.Release(id)
+	if s.CommittedTotal != 40 {
+		t.Errorf("release should refund total, got %v", s.CommittedTotal)
+	}
+}

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func() { got = append(got, 3) })
+	e.At(10, func() { got = append(got, 1) })
+	e.At(20, func() { got = append(got, 2) })
+	e.Run(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events fired out of order: %v", got)
+	}
+	if e.Now() != 100 {
+		t.Errorf("clock should advance to horizon, got %v", e.Now())
+	}
+}
+
+func TestFIFOSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { got = append(got, i) })
+	}
+	e.Run(10)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(10, func() { fired = true })
+	if !e.Cancel(id) {
+		t.Error("Cancel returned false for pending event")
+	}
+	if e.Cancel(id) {
+		t.Error("double Cancel returned true")
+	}
+	e.Run(100)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	var idz []EventID
+	for i := 0; i < 20; i++ {
+		i := i
+		idz = append(idz, e.At(Time(i*10), func() { got = append(got, i) }))
+	}
+	// Cancel the odd ones.
+	for i := 1; i < 20; i += 2 {
+		e.Cancel(idz[i])
+	}
+	e.Run(1000)
+	if len(got) != 10 {
+		t.Fatalf("got %d events, want 10", len(got))
+	}
+	for _, v := range got {
+		if v%2 != 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var chain func()
+	chain = func() {
+		count++
+		if count < 5 {
+			e.After(10, chain)
+		}
+	}
+	e.After(10, chain)
+	e.Run(1000)
+	if count != 5 {
+		t.Errorf("chained events fired %d times, want 5", count)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("clock at %v", e.Now())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(50, func() { fired++ })
+	e.At(150, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Errorf("fired %d events before horizon 100, want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending %d, want 1", e.Pending())
+	}
+	e.Run(200)
+	if fired != 2 {
+		t.Errorf("fired %d after second run, want 2", fired)
+	}
+}
+
+func TestEventAtHorizonFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.Run(100)
+	if !fired {
+		t.Error("event exactly at the horizon should fire")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(200)
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++; e.Stop() })
+	e.At(20, func() { fired++ })
+	e.Run(100)
+	if fired != 1 {
+		t.Errorf("Stop did not halt the run: fired=%d", fired)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock should freeze at stop instant, got %v", e.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	if !e.Step() || fired != 1 || e.Now() != 10 {
+		t.Errorf("first Step wrong: fired=%d now=%v", fired, e.Now())
+	}
+	if !e.Step() || fired != 2 {
+		t.Error("second Step wrong")
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestAfterNegativeClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.After(-5, func() { fired = true })
+	e.Run(0)
+	if !fired {
+		t.Error("negative After should fire immediately")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	tk := e.NewTicker(10, func() Duration {
+		at = append(at, e.Now())
+		return 0
+	})
+	e.Run(55)
+	tk.Stop()
+	e.Run(100)
+	if len(at) != 5 {
+		t.Fatalf("ticker fired %d times, want 5: %v", len(at), at)
+	}
+	for i, ts := range at {
+		if ts != Time((i+1)*10) {
+			t.Errorf("tick %d at %v", i, ts)
+		}
+	}
+}
+
+func TestTickerPeriodChange(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.NewTicker(10, func() Duration {
+		at = append(at, e.Now())
+		if len(at) == 2 {
+			return 30
+		}
+		return 0
+	})
+	e.Run(100)
+	// Ticks: 10, 20, then every 30: 50, 80.
+	want := []Time{10, 20, 50, 80}
+	if len(at) != len(want) {
+		t.Fatalf("ticks %v, want %v", at, want)
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", at, want)
+		}
+	}
+}
+
+func TestTickerSelfStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.NewTicker(10, func() Duration {
+		n++
+		if n == 3 {
+			return -1
+		}
+		return 0
+	})
+	e.Run(1000)
+	if n != 3 {
+		t.Errorf("self-stopping ticker fired %d times, want 3", n)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	ts := Time(0).Add(3 * Day).Add(5 * Hour)
+	if ts.Days() < 3.2 || ts.Days() > 3.3 {
+		t.Errorf("Days() = %v", ts.Days())
+	}
+	if ts.Sub(Time(0)) != 3*Day+5*Hour {
+		t.Errorf("Sub wrong")
+	}
+	if s := ts.String(); s != "d3+5h0m0s" {
+		t.Errorf("String() = %q", s)
+	}
+	if Time(2*Second).Seconds() != 2 {
+		t.Error("Seconds() wrong")
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.At(Time(i), func() {})
+	}
+	e.Run(100)
+	if e.Executed != 7 {
+		t.Errorf("Executed = %d, want 7", e.Executed)
+	}
+}

@@ -1,0 +1,61 @@
+package world
+
+import (
+	"testing"
+
+	"lockss/internal/sim"
+)
+
+// TestChurnIntegration: newcomers joining a running network work their way
+// into non-friend reference lists within a few poll rounds.
+func TestChurnIntegration(t *testing.T) {
+	cfg := Default()
+	cfg.Peers = 25
+	cfg.AUs = 2
+	cfg.AUSize = 16 << 20
+	cfg.Duration = 2 * sim.Year
+	cfg.DamageDiskYears = 0
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := w.EnableChurn(Churn{JoinPerYear: 6, MaxJoins: 5, FriendsPerJoiner: 4})
+	w.Run()
+
+	t.Logf("churn: joined=%d integrated=%d newcomerPolls=%d newcomerVotes=%d",
+		stats.Joined, stats.Integrated, stats.NewcomerPollsOK, stats.NewcomerVotes)
+	if stats.Joined == 0 {
+		t.Fatal("nobody joined")
+	}
+	if stats.NewcomerVotes == 0 {
+		t.Error("newcomers never supplied votes")
+	}
+	if stats.NewcomerPollsOK == 0 {
+		t.Error("newcomers never completed a poll")
+	}
+	if stats.Integrated == 0 {
+		t.Error("no newcomer spread beyond its friends")
+	}
+	if len(w.Peers) != cfg.Peers+stats.Joined {
+		t.Errorf("population bookkeeping wrong: %d peers, %d joins", len(w.Peers), stats.Joined)
+	}
+}
+
+// TestChurnDisabled: zero-rate churn is a no-op.
+func TestChurnDisabled(t *testing.T) {
+	cfg := Default()
+	cfg.Peers = 15
+	cfg.AUs = 1
+	cfg.AUSize = 16 << 20
+	cfg.Duration = sim.Month
+	cfg.DamageDiskYears = 0
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := w.EnableChurn(Churn{})
+	w.Run()
+	if stats.Joined != 0 {
+		t.Error("disabled churn admitted joiners")
+	}
+}

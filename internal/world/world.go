@@ -1,0 +1,322 @@
+// Package world assembles complete simulated LOCKSS populations: the event
+// engine, the network model, loyal peers with their replicas and bootstrap
+// state, the storage-damage process, and metrics collection. Adversaries
+// attach to a World through the hooks it exposes.
+package world
+
+import (
+	"fmt"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/metrics"
+	"lockss/internal/netsim"
+	"lockss/internal/prng"
+	"lockss/internal/protocol"
+	"lockss/internal/reputation"
+	"lockss/internal/sched"
+	"lockss/internal/sim"
+)
+
+// Config sizes a simulated population. The defaults in Default() follow the
+// paper's §6.3 operating point.
+type Config struct {
+	// Seed drives all randomness in the run.
+	Seed uint64
+	// Peers is the loyal population size (paper: 100).
+	Peers int
+	// AUs is the number of archival units each peer preserves (paper: 50
+	// per layer, up to 600 via layering).
+	AUs int
+	// AUSize is the content size per AU in bytes (paper: 0.5 GB).
+	AUSize int64
+	// Protocol is the protocol operating point.
+	Protocol protocol.Config
+	// DamageDiskYears is the mean time between undetected storage damage
+	// events per disk, in years (paper: 1 to 5); zero disables damage.
+	DamageDiskYears float64
+	// AUsPerDisk divides the collection into disks for the damage process
+	// (paper: 50).
+	AUsPerDisk int
+	// Friends is the operator-maintained friends list size per peer.
+	Friends int
+	// SeedAllEven initializes every loyal pair at an Even grade, modeling a
+	// deployment with history rather than a cold bootstrap.
+	SeedAllEven bool
+	// HashBytesPerSec overrides the cost model's hashing throughput when
+	// positive (ablations use it to raise peer busyness).
+	HashBytesPerSec float64
+	// Duration is the simulated horizon.
+	Duration sim.Duration
+}
+
+// Default returns the paper-scale configuration (one 50-AU layer).
+func Default() Config {
+	return Config{
+		Seed:            1,
+		Peers:           100,
+		AUs:             50,
+		AUSize:          512 << 20,
+		Protocol:        protocol.DefaultConfig(),
+		DamageDiskYears: 5,
+		AUsPerDisk:      50,
+		Friends:         5,
+		SeedAllEven:     true,
+		Duration:        2 * sim.Year,
+	}
+}
+
+// World is one assembled simulation.
+type World struct {
+	Cfg     Config
+	Engine  *sim.Engine
+	Net     *netsim.Network
+	Peers   []*protocol.Peer
+	Metrics *metrics.Collector
+	// AdversaryLedger accumulates attacker effort (effortful attacks).
+	AdversaryLedger *effort.Ledger
+	// Root is the root randomness source; adversaries derive children.
+	Root *prng.Source
+
+	specs []content.AUSpec
+}
+
+// Env adapts a World to protocol.Env for one peer.
+type Env struct {
+	w   *World
+	id  ids.PeerID
+	rnd *prng.Source
+}
+
+// Now implements protocol.Env.
+func (e *Env) Now() sched.Time { return sched.Time(e.w.Engine.Now()) }
+
+// After implements protocol.Env.
+func (e *Env) After(d sched.Duration, fn func()) func() {
+	evID := e.w.Engine.After(sim.Duration(d), fn)
+	return func() { e.w.Engine.Cancel(evID) }
+}
+
+// Rand implements protocol.Env.
+func (e *Env) Rand() *prng.Source { return e.rnd }
+
+// Send implements protocol.Env.
+func (e *Env) Send(to ids.PeerID, m *protocol.Msg) {
+	e.w.Net.Send(e.id, to, m, m.WireSize())
+}
+
+// MakeProof implements protocol.Env with a symbolic proof; the effort cost
+// is charged by the protocol through the peer's ledger and schedule.
+func (e *Env) MakeProof(ctx []byte, cost effort.Seconds) (effort.Proof, effort.Receipt) {
+	return effort.SimProof{Effort: cost, Genuine: true}, effort.SimReceiptFor(ctx, cost)
+}
+
+// VerifyProof implements protocol.Env.
+func (e *Env) VerifyProof(ctx []byte, p effort.Proof, minCost effort.Seconds) bool {
+	return p != nil && p.Valid(ctx) && p.Cost() >= minCost-1e-9
+}
+
+// EvalReceipt implements protocol.Env.
+func (e *Env) EvalReceipt(ctx []byte, p effort.Proof) (effort.Receipt, bool) {
+	if p == nil || !p.Valid(ctx) {
+		return effort.Receipt{}, false
+	}
+	return effort.SimReceiptFor(ctx, p.Cost()), true
+}
+
+// PeerIDOf maps a peer index to its PeerID (1-based).
+func PeerIDOf(index int) ids.PeerID { return ids.PeerID(index + 1) }
+
+// New assembles a world. Background load hooks (for 600-AU layering) may be
+// installed on peer schedules before Run.
+func New(cfg Config) (*World, error) {
+	if cfg.Peers <= 0 || cfg.AUs <= 0 {
+		return nil, fmt.Errorf("world: need positive peers and AUs")
+	}
+	if err := cfg.Protocol.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Peers <= cfg.Protocol.Quorum {
+		return nil, fmt.Errorf("world: population %d cannot sustain quorum %d", cfg.Peers, cfg.Protocol.Quorum)
+	}
+	w := &World{
+		Cfg:             cfg,
+		Engine:          sim.NewEngine(),
+		Metrics:         metrics.NewCollector(),
+		AdversaryLedger: effort.NewLedger(),
+		Root:            prng.New(cfg.Seed),
+	}
+	w.Net = netsim.New(w.Engine)
+
+	// AU catalogue.
+	w.specs = make([]content.AUSpec, cfg.AUs)
+	for i := range w.specs {
+		w.specs[i] = content.AUSpec{
+			ID:        content.AUID(i + 1),
+			Name:      fmt.Sprintf("au-%03d", i+1),
+			Size:      cfg.AUSize,
+			BlockSize: cfg.Protocol.BlockSize,
+		}
+	}
+
+	costs := effort.DefaultCostModel()
+	if cfg.HashBytesPerSec > 0 {
+		costs.HashBytesPerSec = cfg.HashBytesPerSec
+	}
+	linkRnd := w.Root.Child("links")
+	bootRnd := w.Root.Child("bootstrap")
+
+	// Build peers.
+	w.Peers = make([]*protocol.Peer, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		id := PeerIDOf(i)
+		env := &Env{w: w, id: id, rnd: w.Root.ChildN("peer", i)}
+		p, err := protocol.New(id, cfg.Protocol, costs, env, w.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		w.Peers[i] = p
+		peer := p
+		w.Net.AddNode(id, netsim.RandomLink(linkRnd), func(from ids.PeerID, payload any, size int) {
+			deliver(w, peer, from, payload)
+		})
+	}
+
+	// Friends lists: a random sample per peer.
+	for i, p := range w.Peers {
+		n := cfg.Friends
+		if n > cfg.Peers-1 {
+			n = cfg.Peers - 1
+		}
+		friends := make([]ids.PeerID, 0, n)
+		for _, j := range bootRnd.Sample(cfg.Peers, n+1) {
+			if j != i && len(friends) < n {
+				friends = append(friends, PeerIDOf(j))
+			}
+		}
+		p.SetFriends(friends)
+	}
+
+	// Replicas and bootstrap reference lists.
+	for i, p := range w.Peers {
+		for _, spec := range w.specs {
+			salt := uint64(i+1)<<20 | uint64(spec.ID)
+			replica := content.NewSimReplica(spec, salt)
+			refs := make([]ids.PeerID, 0, cfg.Protocol.RefListTarget)
+			for _, j := range bootRnd.Sample(cfg.Peers, cfg.Protocol.RefListTarget+1) {
+				if j != i && len(refs) < cfg.Protocol.RefListTarget {
+					refs = append(refs, PeerIDOf(j))
+				}
+			}
+			if err := p.AddAU(replica, refs); err != nil {
+				return nil, err
+			}
+			w.Metrics.RegisterReplica(p.ID(), spec.ID, replica)
+		}
+	}
+	return w, nil
+}
+
+// deliver dispatches one delivered payload to a peer, expanding invitation
+// bursts (see BurstPayload) into individual protocol messages.
+func deliver(w *World, p *protocol.Peer, from ids.PeerID, payload any) {
+	switch v := payload.(type) {
+	case *protocol.Msg:
+		p.Receive(from, v)
+	case *BurstPayload:
+		v.Deliver(w, p)
+	}
+}
+
+// Specs returns the AU catalogue.
+func (w *World) Specs() []content.AUSpec {
+	out := make([]content.AUSpec, len(w.specs))
+	copy(out, w.specs)
+	return out
+}
+
+// Peer returns the i-th loyal peer.
+func (w *World) Peer(i int) *protocol.Peer { return w.Peers[i] }
+
+// SeedAcquaintance initializes the steady-state grade matrix.
+func (w *World) seedAcquaintance() {
+	if !w.Cfg.SeedAllEven {
+		return
+	}
+	for _, p := range w.Peers {
+		for _, au := range p.AUs() {
+			for _, q := range w.Peers {
+				if q.ID() != p.ID() {
+					p.SeedGrade(au, q.ID(), reputation.Even)
+				}
+			}
+		}
+	}
+}
+
+// startDamage schedules the storage-damage Poisson process.
+func (w *World) startDamage() {
+	if w.Cfg.DamageDiskYears <= 0 {
+		return
+	}
+	perDisk := w.Cfg.AUsPerDisk
+	if perDisk <= 0 {
+		perDisk = 50
+	}
+	// Damage events per peer per year: one per disk per DamageDiskYears,
+	// with ceil(AUs/perDisk) disks.
+	disks := (w.Cfg.AUs + perDisk - 1) / perDisk
+	ratePerYear := float64(disks) / w.Cfg.DamageDiskYears
+	meanGap := float64(sim.Year) / ratePerYear
+	for i, p := range w.Peers {
+		peer := p
+		rnd := w.Root.ChildN("damage", i)
+		var schedule func()
+		schedule = func() {
+			gap := sim.Duration(rnd.ExpFloat64(meanGap))
+			w.Engine.After(gap, func() {
+				aus := peer.AUs()
+				au := aus[rnd.Intn(len(aus))]
+				replica := peer.Replica(au)
+				block := rnd.Intn(replica.Spec().Blocks())
+				replica.Damage(block)
+				w.Metrics.OnDamage(peer.ID(), au, sched.Time(w.Engine.Now()))
+				schedule()
+			})
+		}
+		schedule()
+	}
+}
+
+// Run seeds acquaintance, starts peers and damage, executes the horizon and
+// finalizes metrics. Adversaries must be installed before Run.
+func (w *World) Run() {
+	w.seedAcquaintance()
+	for _, p := range w.Peers {
+		p.Start()
+	}
+	w.startDamage()
+	w.Engine.Run(sim.Time(w.Cfg.Duration))
+	w.Metrics.Finalize(sched.Time(w.Engine.Now()))
+}
+
+// DefenderEffort sums all loyal peers' ledgers.
+func (w *World) DefenderEffort() effort.Seconds {
+	var total effort.Seconds
+	for _, p := range w.Peers {
+		total += p.Ledger().Total
+	}
+	return total
+}
+
+// DefenderEffortByKind aggregates loyal ledgers per kind.
+func (w *World) DefenderEffortByKind() map[string]effort.Seconds {
+	out := make(map[string]effort.Seconds)
+	for _, p := range w.Peers {
+		for k, v := range p.Ledger().ByKind {
+			out[k] += v
+		}
+	}
+	return out
+}

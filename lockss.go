@@ -1,0 +1,201 @@
+// Package lockss is a from-scratch Go reproduction of the attrition-resistant
+// LOCKSS peer-to-peer digital preservation system described in:
+//
+//	TJ Giuli, Petros Maniatis, Mary Baker, David S. H. Rosenthal, Mema
+//	Roussopoulos. "Attrition Defenses for a Peer-to-Peer Digital
+//	Preservation System." USENIX Annual Technical Conference, 2005.
+//
+// The library contains the full audit-and-repair protocol (opinion polls
+// over replica hashes, block-level repair, discovery), the paper's three
+// defense families (admission control with rate limits, first-hand
+// reputation and effort balancing; desynchronization; redundancy), a
+// deterministic discrete-event simulator with the paper's network and cost
+// models, the three adversary classes of the evaluation, and a harness that
+// regenerates every figure and table of §7.
+//
+// This package is the public facade: simulations, attacks and experiment
+// generators re-exported in one place. Examples live under examples/, the
+// CLI under cmd/lockss-sim, and a real TCP-networked peer under
+// cmd/lockss-node.
+package lockss
+
+import (
+	"io"
+
+	"lockss/internal/adversary"
+	"lockss/internal/experiment"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// Config sizes a simulated population; see DefaultConfig for the paper's
+// operating point.
+type Config = world.Config
+
+// DefaultConfig returns the paper's §6.3 configuration: 100 peers, 50 AUs
+// of 0.5 GB, 3-month polls, quorum 10, 2 simulated years.
+func DefaultConfig() Config { return world.Default() }
+
+// Duration re-exports the simulated time units.
+type Duration = sim.Duration
+
+// Convenient time units for configuring simulations.
+const (
+	Second = sim.Second
+	Hour   = sim.Hour
+	Day    = sim.Day
+	Month  = sim.Month
+	Year   = sim.Year
+)
+
+// Adversary is an attack strategy that can be installed on a simulation.
+type Adversary = adversary.Adversary
+
+// Defection selects where the brute-force adversary abandons the protocol.
+type Defection = adversary.Defection
+
+// Brute-force defection strategies (Table 1).
+const (
+	DefectIntro     = adversary.DefectIntro
+	DefectRemaining = adversary.DefectRemaining
+	DefectNone      = adversary.DefectNone
+)
+
+// NewPipeStoppage returns the network-level flooding adversary: repeated
+// pulses suppressing all communication for a coverage fraction of peers.
+func NewPipeStoppage(coverage float64, duration, recuperation Duration) Adversary {
+	return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+		Coverage: coverage, Duration: duration, Recuperation: recuperation,
+	}}
+}
+
+// NewAdmissionFlood returns the application-level garbage-invitation
+// adversary targeting the admission control filter.
+func NewAdmissionFlood(coverage float64, duration, recuperation Duration) Adversary {
+	return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+		Coverage: coverage, Duration: duration, Recuperation: recuperation,
+	}}
+}
+
+// NewBruteForce returns the effortful adversary that passes admission
+// control with valid introductory efforts and defects at the given stage.
+func NewBruteForce(d Defection) Adversary {
+	return &adversary.BruteForce{Defection: d}
+}
+
+// NewVoteFlood returns the vote-flood adversary (§5.1): unsolicited bogus
+// votes, which the protocol ignores before any expensive processing. It
+// exists to demonstrate the defense holds.
+func NewVoteFlood(coverage float64, duration, recuperation Duration) Adversary {
+	return &adversary.VoteFlood{Pulse: adversary.Pulse{
+		Coverage: coverage, Duration: duration, Recuperation: recuperation,
+	}}
+}
+
+// NewCombined installs several attack strategies at once (§9's combined-
+// strategy question).
+func NewCombined(parts ...Adversary) Adversary {
+	return &adversary.Combined{Parts: parts}
+}
+
+// Results summarizes one simulation run.
+type Results = experiment.RunStats
+
+// Comparison relates an attack run to a baseline via the paper's four
+// metrics.
+type Comparison = experiment.Comparison
+
+// Run executes one simulation. attack may be nil for a baseline run.
+func Run(cfg Config, attack func() Adversary) (Results, error) {
+	return experiment.RunOne(cfg, attack)
+}
+
+// RunSeeds executes `seeds` runs with distinct seeds and averages.
+func RunSeeds(cfg Config, attack func() Adversary, seeds int) (Results, error) {
+	return experiment.RunAveraged(cfg, attack, seeds)
+}
+
+// RunLayered stacks `layers` runs to model large collections (the paper's
+// 600-AU layering technique).
+func RunLayered(cfg Config, attack func() Adversary, layers int) (Results, error) {
+	return experiment.RunLayered(cfg, attack, layers)
+}
+
+// Compare derives access failure, delay ratio, friction and cost ratio.
+func Compare(attack, baseline Results) Comparison {
+	return experiment.Compare(attack, baseline)
+}
+
+// Scale selects experiment fidelity.
+type Scale = experiment.Scale
+
+// Experiment scales.
+const (
+	ScaleTiny  = experiment.ScaleTiny
+	ScaleSmall = experiment.ScaleSmall
+	ScalePaper = experiment.ScalePaper
+)
+
+// ExperimentOptions configures figure generation.
+type ExperimentOptions = experiment.Options
+
+// Table is a printable reproduction of one paper figure or table.
+type Table = experiment.Table
+
+// Figure2 regenerates the baseline figure.
+func Figure2(o ExperimentOptions) (*Table, error) { return experiment.Figure2(o) }
+
+// FiguresPipeStoppage regenerates Figures 3-5.
+func FiguresPipeStoppage(o ExperimentOptions) ([]*Table, error) {
+	return experiment.FiguresPipeStoppage(o)
+}
+
+// FiguresAdmissionFlood regenerates Figures 6-8.
+func FiguresAdmissionFlood(o ExperimentOptions) ([]*Table, error) {
+	return experiment.FiguresAdmissionFlood(o)
+}
+
+// Table1 regenerates the brute-force defection table.
+func Table1(o ExperimentOptions) (*Table, error) { return experiment.Table1(o) }
+
+// Ablations regenerates the design-choice ablation tables (refractory
+// period, drop probabilities, introductions, desynchronization, effort
+// balancing).
+func Ablations(o ExperimentOptions) ([]*Table, error) {
+	var out []*Table
+	for _, gen := range []func(ExperimentOptions) (*Table, error){
+		experiment.AblationRefractory,
+		experiment.AblationDropProb,
+		experiment.AblationIntroductions,
+		experiment.AblationDesynchronization,
+		experiment.AblationEffortBalancing,
+	} {
+		t, err := gen(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Extensions regenerates the §9 future-work studies: dynamic populations
+// (churn) and adaptive acceptance.
+func Extensions(o ExperimentOptions) ([]*Table, error) {
+	var out []*Table
+	for _, gen := range []func(ExperimentOptions) (*Table, error){
+		experiment.ExtensionChurn,
+		experiment.ExtensionAdaptive,
+		experiment.ExtensionCombined,
+	} {
+		t, err := gen(o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// PrintTable renders a table to w.
+func PrintTable(w io.Writer, t *Table) { t.Fprint(w) }

@@ -1,0 +1,99 @@
+package lockss
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeBaseline exercises the public API end to end.
+func TestFacadeBaseline(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Peers = 20
+	cfg.AUs = 2
+	cfg.AUSize = 16 << 20
+	cfg.Duration = Year / 2
+	cfg.DamageDiskYears = 1
+
+	baseline, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.SuccessfulPolls == 0 {
+		t.Fatal("no polls succeeded through the facade")
+	}
+
+	attack, err := Run(cfg, func() Adversary {
+		return NewPipeStoppage(1.0, 60*Day, 30*Day)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := Compare(attack, baseline)
+	if cmp.DelayRatio <= 1 {
+		t.Errorf("stoppage delay ratio %v should exceed 1", cmp.DelayRatio)
+	}
+}
+
+func TestFacadeSeedsAndLayers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Peers = 15
+	cfg.AUs = 2
+	cfg.AUSize = 16 << 20
+	cfg.Duration = Year / 4
+	cfg.Protocol.Quorum = 5
+	cfg.Protocol.InnerCircle = 10
+	cfg.Protocol.MaxDisagree = 1
+	cfg.DamageDiskYears = 1
+
+	multi, err := RunSeeds(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TotalPolls == 0 {
+		t.Error("multi-seed run produced nothing")
+	}
+	layered, err := RunLayered(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered.TotalPolls < multi.TotalPolls {
+		t.Error("layered run should at least match a single run's polls")
+	}
+}
+
+func TestFacadeAdversaryConstructors(t *testing.T) {
+	for _, a := range []Adversary{
+		NewPipeStoppage(0.5, Day, Day),
+		NewAdmissionFlood(0.5, Day, Day),
+		NewBruteForce(DefectIntro),
+		NewBruteForce(DefectRemaining),
+		NewBruteForce(DefectNone),
+	} {
+		if a.Name() == "" {
+			t.Error("adversary with empty name")
+		}
+	}
+}
+
+func TestFacadeTableGeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table generation is slow")
+	}
+	opts := ExperimentOptions{Scale: ScaleTiny, Seeds: 1}
+	tab, err := Table1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, tab)
+	out := buf.String()
+	for _, want := range []string{"Table 1", "INTRO", "REMAINING", "NONE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in table output", want)
+		}
+	}
+	if len(tab.Rows) != 6 { // 3 strategies x 2 collection sizes
+		t.Errorf("Table 1 has %d rows, want 6", len(tab.Rows))
+	}
+}
