@@ -7,7 +7,12 @@
 //	lockss-sim -figure 2            # one figure: 2..8, table1, ablations
 //	lockss-sim -figure all          # everything
 //	lockss-sim -scale paper         # tiny | small | paper
+//	lockss-sim -workers 8           # parallel runs (default: all cores)
 //	lockss-sim -seeds 3 -seed 42 -v
+//
+// Output is bit-identical at any -workers value: runs are scheduled across
+// the worker pool but seeded, combined and printed exactly as the serial
+// path would.
 package main
 
 import (
@@ -26,11 +31,15 @@ func main() {
 		scale   = flag.String("scale", "small", "experiment fidelity: tiny, small, paper")
 		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = scale default)")
 		seed    = flag.Uint64("seed", 0, "base seed offset")
+		workers = flag.Int("workers", 0, "concurrent simulation runs (<=0 = GOMAXPROCS, i.e. all usable cores)")
 		verbose = flag.Bool("v", false, "print per-data-point progress")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed}
+	// One engine for the whole invocation: -figure all reuses memoized
+	// baseline runs across figures.
+	eng := experiment.NewEngine(*workers)
+	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed, Engine: eng}
 	switch strings.ToLower(*scale) {
 	case "tiny":
 		opts.Scale = experiment.ScaleTiny
@@ -129,5 +138,10 @@ func main() {
 			}
 			emit(t)
 		}
+	}
+	if *verbose {
+		hits, misses := eng.MemoStats()
+		fmt.Fprintf(os.Stderr, "engine: %d workers; baseline runs computed=%d memo-hits=%d\n",
+			eng.Workers(), misses, hits)
 	}
 }

@@ -1,0 +1,3 @@
+module lockss
+
+go 1.24

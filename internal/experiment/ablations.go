@@ -6,6 +6,7 @@ import (
 	"lockss/internal/adversary"
 	"lockss/internal/sched"
 	"lockss/internal/sim"
+	"lockss/internal/world"
 )
 
 // Ablation experiments probe the design choices DESIGN.md calls out. Each
@@ -19,25 +20,22 @@ func AblationRefractory(o Options) (*Table, error) {
 		Title:   "Refractory period under sustained admission-control flood",
 		Columns: []string{"refractory(days)", "access-failure", "delay-ratio", "coeff-friction"},
 	}
-	for _, days := range []float64{0.25, 0.5, 1, 2, 4} {
+	settings := []float64{0.25, 0.5, 1, 2, 4}
+	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
 		cfg := o.baseWorld()
-		cfg.Protocol.Refractory = sched.Duration(days * float64(sim.Day))
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		cfg.Protocol.Refractory = sched.Duration(settings[i] * float64(sim.Day))
+		return cfg, func() adversary.Adversary {
 			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
 				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
 			}}
-		}, o.seeds())
-		if err != nil {
-			return nil, err
 		}
-		cmp := Compare(attack, baseline)
-		t.AddRow(fmt.Sprintf("%.2f", days), fmtProb(attack.AccessFailure),
+	}, func(i int, cmp Comparison) {
+		t.AddRow(fmt.Sprintf("%.2f", settings[i]), fmtProb(cmp.Attack.AccessFailure),
 			fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
-		o.progress("ablation/refractory %gd afp=%s", days, fmtProb(attack.AccessFailure))
+		o.progress("ablation/refractory %gd afp=%s", settings[i], fmtProb(cmp.Attack.AccessFailure))
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"longer refractory periods shield busier peers but slow discovery (§9 of the paper)")
@@ -52,26 +50,23 @@ func AblationDropProb(o Options) (*Table, error) {
 		Title:   "Drop probabilities vs brute-force REMAINING attack",
 		Columns: []string{"drop-unknown", "drop-debt", "cost-ratio", "coeff-friction"},
 	}
-	for _, p := range []struct{ unknown, debt float64 }{
+	settings := []struct{ unknown, debt float64 }{
 		{0.50, 0.40}, {0.80, 0.60}, {0.90, 0.80}, {0.95, 0.90},
-	} {
+	}
+	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
 		cfg := o.baseWorld()
-		cfg.Protocol.DropUnknown = p.unknown
-		cfg.Protocol.DropDebt = p.debt
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		cfg.Protocol.DropUnknown = settings[i].unknown
+		cfg.Protocol.DropDebt = settings[i].debt
+		return cfg, func() adversary.Adversary {
 			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
-		}, o.seeds())
-		if err != nil {
-			return nil, err
 		}
-		cmp := Compare(attack, baseline)
-		t.AddRow(fmt.Sprintf("%.2f", p.unknown), fmt.Sprintf("%.2f", p.debt),
+	}, func(i int, cmp Comparison) {
+		t.AddRow(fmt.Sprintf("%.2f", settings[i].unknown), fmt.Sprintf("%.2f", settings[i].debt),
 			fmtRatio(cmp.CostRatio), fmtRatio(cmp.Friction))
-		o.progress("ablation/drop %.2f/%.2f cost=%s", p.unknown, p.debt, fmtRatio(cmp.CostRatio))
+		o.progress("ablation/drop %.2f/%.2f cost=%s", settings[i].unknown, settings[i].debt, fmtRatio(cmp.CostRatio))
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"higher drop probabilities force the attacker to spend more introductory effort per admission")
@@ -86,25 +81,22 @@ func AblationIntroductions(o Options) (*Table, error) {
 		Title:   "Peer introductions on/off under sustained admission-control flood",
 		Columns: []string{"introductions", "polls-ok", "delay-ratio", "coeff-friction"},
 	}
-	for _, enabled := range []bool{true, false} {
+	settings := []bool{true, false}
+	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
 		cfg := o.baseWorld()
-		cfg.Protocol.Introductions = enabled
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		cfg.Protocol.Introductions = settings[i]
+		return cfg, func() adversary.Adversary {
 			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
 				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
 			}}
-		}, o.seeds())
-		if err != nil {
-			return nil, err
 		}
-		cmp := Compare(attack, baseline)
-		t.AddRow(fmt.Sprintf("%v", enabled), fmt.Sprintf("%.0f", attack.SuccessfulPolls),
+	}, func(i int, cmp Comparison) {
+		t.AddRow(fmt.Sprintf("%v", settings[i]), fmt.Sprintf("%.0f", cmp.Attack.SuccessfulPolls),
 			fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
-		o.progress("ablation/intros=%v polls=%.0f", enabled, attack.SuccessfulPolls)
+		o.progress("ablation/intros=%v polls=%.0f", settings[i], cmp.Attack.SuccessfulPolls)
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"introductions let loyal-but-unknown pollers bypass refractory periods the flood keeps triggered")
@@ -119,32 +111,40 @@ func AblationDesynchronization(o Options) (*Table, error) {
 		Title:   "Desynchronization on/off (baseline and brute-force REMAINING)",
 		Columns: []string{"desync", "scenario", "polls-ok", "polls-total", "mean-gap(days)"},
 	}
-	for _, enabled := range []bool{true, false} {
+	e := o.engine()
+	settings := []bool{true, false}
+	type pair struct{ baseline, attack RunStats }
+	_, err := gather(len(settings), func(i int) (pair, error) {
 		cfg := o.baseWorld()
-		cfg.Protocol.Desynchronize = enabled
+		cfg.Protocol.Desynchronize = settings[i]
 		// The §5.2 rendezvous problem only bites when peers are busy:
 		// slow the reference machine's hashing so votes take hours, as
 		// they would with hundreds of concurrent AUs.
 		cfg.HashBytesPerSec = 4 << 10
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
+		baseline, err := e.RunAveraged(cfg, nil, o.seeds())
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		t.AddRow(fmt.Sprintf("%v", enabled), "baseline",
-			fmt.Sprintf("%.0f", baseline.SuccessfulPolls),
-			fmt.Sprintf("%.0f", baseline.TotalPolls),
-			fmt.Sprintf("%.1f", baseline.MeanSuccessGap))
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		attack, err := e.RunAveraged(cfg, func() adversary.Adversary {
 			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
 		}, o.seeds())
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		t.AddRow(fmt.Sprintf("%v", enabled), "brute-force",
-			fmt.Sprintf("%.0f", attack.SuccessfulPolls),
-			fmt.Sprintf("%.0f", attack.TotalPolls),
-			fmt.Sprintf("%.1f", attack.MeanSuccessGap))
-		o.progress("ablation/desync=%v ok=%.0f/%.0f", enabled, attack.SuccessfulPolls, attack.TotalPolls)
+		return pair{baseline, attack}, nil
+	}, func(i int, p pair) {
+		t.AddRow(fmt.Sprintf("%v", settings[i]), "baseline",
+			fmt.Sprintf("%.0f", p.baseline.SuccessfulPolls),
+			fmt.Sprintf("%.0f", p.baseline.TotalPolls),
+			fmt.Sprintf("%.1f", p.baseline.MeanSuccessGap))
+		t.AddRow(fmt.Sprintf("%v", settings[i]), "brute-force",
+			fmt.Sprintf("%.0f", p.attack.SuccessfulPolls),
+			fmt.Sprintf("%.0f", p.attack.TotalPolls),
+			fmt.Sprintf("%.1f", p.attack.MeanSuccessGap))
+		o.progress("ablation/desync=%v ok=%.0f/%.0f", settings[i], p.attack.SuccessfulPolls, p.attack.TotalPolls)
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"synchronous solicitation needs a quorum of simultaneously free voters; busyness then collapses polls (§5.2)")
@@ -160,25 +160,22 @@ func AblationEffortBalancing(o Options) (*Table, error) {
 		Title:   "Effort balancing on/off under brute-force NONE attack",
 		Columns: []string{"effort-balancing", "attacker-effort", "defender-effort", "cost-ratio", "coeff-friction"},
 	}
-	for _, enabled := range []bool{true, false} {
+	settings := []bool{true, false}
+	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
 		cfg := o.baseWorld()
-		cfg.Protocol.EffortBalancing = enabled
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		cfg.Protocol.EffortBalancing = settings[i]
+		return cfg, func() adversary.Adversary {
 			return &adversary.BruteForce{Defection: adversary.DefectNone}
-		}, o.seeds())
-		if err != nil {
-			return nil, err
 		}
-		cmp := Compare(attack, baseline)
-		t.AddRow(fmt.Sprintf("%v", enabled),
-			fmt.Sprintf("%.0f", attack.AttackerEffort),
-			fmt.Sprintf("%.0f", attack.DefenderEffort),
+	}, func(i int, cmp Comparison) {
+		t.AddRow(fmt.Sprintf("%v", settings[i]),
+			fmt.Sprintf("%.0f", cmp.Attack.AttackerEffort),
+			fmt.Sprintf("%.0f", cmp.Attack.DefenderEffort),
 			fmtRatio(cmp.CostRatio), fmtRatio(cmp.Friction))
-		o.progress("ablation/effort=%v cost=%s", enabled, fmtRatio(cmp.CostRatio))
+		o.progress("ablation/effort=%v cost=%s", settings[i], fmtRatio(cmp.CostRatio))
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"without effort balancing the attacker imposes defender work at near-zero cost to itself")

@@ -50,8 +50,8 @@ type Comparison struct {
 	CostRatio float64
 }
 
-// RunOne executes a single seeded run and extracts stats. mkAttack may be
-// nil for a baseline.
+// RunOne executes a single seeded run on the calling goroutine and extracts
+// stats. mkAttack may be nil for a baseline.
 func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
 	w, err := world.New(cfg)
 	if err != nil {
@@ -61,6 +61,11 @@ func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, er
 		mkAttack().Install(w)
 	}
 	w.Run()
+	return statsFromWorld(w), nil
+}
+
+// statsFromWorld extracts the per-run metric ingredients of a finished run.
+func statsFromWorld(w *world.World) RunStats {
 	m := w.Metrics
 	var s RunStats
 	s.AccessFailure = m.AccessFailureProbability()
@@ -79,7 +84,7 @@ func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, er
 	s.Alarms = float64(m.Alarms)
 	s.DamageEvents = float64(m.DamageEvents)
 	s.RepairsFixed = float64(m.RepairsFixed)
-	return s, nil
+	return s
 }
 
 // average combines runs arithmetically (Inf gaps propagate).
@@ -104,22 +109,11 @@ func average(runs []RunStats) RunStats {
 	return out
 }
 
-// RunAveraged executes seeds runs with consecutive seeds and averages.
+// RunAveraged executes seeds runs with consecutive seeds and averages,
+// fanning the runs across the process-wide worker pool. Results are
+// identical to running the seeds serially.
 func RunAveraged(cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
-	if seeds <= 0 {
-		seeds = 1
-	}
-	runs := make([]RunStats, 0, seeds)
-	for s := 0; s < seeds; s++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(s)*1_000_003
-		r, err := RunOne(c, mkAttack)
-		if err != nil {
-			return RunStats{}, err
-		}
-		runs = append(runs, r)
-	}
-	return average(runs), nil
+	return newSharedEngine().RunAveraged(cfg, mkAttack, seeds)
 }
 
 // Compare derives the paper's ratio metrics.
@@ -172,7 +166,24 @@ type Options struct {
 	// BaseSeed offsets all run seeds.
 	BaseSeed uint64
 	// Progress, if non-nil, receives one line per completed data point.
+	// Lines are delivered in deterministic (serial) order regardless of
+	// the engine's worker count.
 	Progress func(format string, args ...any)
+	// Engine, if non-nil, schedules this generation's simulation runs.
+	// Share one Engine across generators to reuse memoized baseline runs
+	// (the CLI does, for -figure all); when nil each generator gets a
+	// fresh engine sized to GOMAXPROCS.
+	Engine *Engine
+}
+
+// engine returns the configured engine or a fresh one on the process-wide
+// worker pool. Generators call it once per generation so memoized baselines
+// are shared at least within one figure.
+func (o Options) engine() *Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return newSharedEngine()
 }
 
 func (o Options) progress(format string, args ...any) {

@@ -71,26 +71,39 @@ func ExtensionChurn(o Options) (*Table, error) {
 			}}
 		}},
 	}
-	for _, sc := range scenarios {
-		var acc ChurnResult
-		seeds := o.seeds()
-		for s := 0; s < seeds; s++ {
-			c := cfg
-			c.Seed = cfg.Seed + uint64(s)*1_000_003
-			r, err := runChurn(c, churn, sc.mk)
-			if err != nil {
-				return nil, err
-			}
-			acc.Joined += r.Joined / float64(seeds)
-			acc.Integrated += r.Integrated / float64(seeds)
-			acc.NewcomerPollsOK += r.NewcomerPollsOK / float64(seeds)
-			acc.NewcomerVotes += r.NewcomerVotes / float64(seeds)
-			acc.AccessFailure += r.AccessFailure / float64(seeds)
+	// Fan every (scenario, seed) churn run across the engine; accumulation
+	// and row emission stay in scenario-major, seed-minor order.
+	e := o.engine()
+	seeds := o.seeds()
+	accs := make([]ChurnResult, len(scenarios))
+	_, err := gather(len(scenarios)*seeds, func(i int) (ChurnResult, error) {
+		sc := scenarios[i/seeds]
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i%seeds)*1_000_003
+		var r ChurnResult
+		err := e.withSlot(func() error {
+			var ferr error
+			r, ferr = runChurn(c, churn, sc.mk)
+			return ferr
+		})
+		return r, err
+	}, func(i int, r ChurnResult) {
+		acc := &accs[i/seeds]
+		acc.Joined += r.Joined / float64(seeds)
+		acc.Integrated += r.Integrated / float64(seeds)
+		acc.NewcomerPollsOK += r.NewcomerPollsOK / float64(seeds)
+		acc.NewcomerVotes += r.NewcomerVotes / float64(seeds)
+		acc.AccessFailure += r.AccessFailure / float64(seeds)
+		if (i+1)%seeds == 0 {
+			sc := scenarios[i/seeds]
+			t.AddRow(sc.name, fmt.Sprintf("%.1f", acc.Joined), fmt.Sprintf("%.1f", acc.Integrated),
+				fmt.Sprintf("%.0f", acc.NewcomerPollsOK), fmt.Sprintf("%.0f", acc.NewcomerVotes),
+				fmtProb(acc.AccessFailure))
+			o.progress("churn %s joined=%.1f integrated=%.1f", sc.name, acc.Joined, acc.Integrated)
 		}
-		t.AddRow(sc.name, fmt.Sprintf("%.1f", acc.Joined), fmt.Sprintf("%.1f", acc.Integrated),
-			fmt.Sprintf("%.0f", acc.NewcomerPollsOK), fmt.Sprintf("%.0f", acc.NewcomerVotes),
-			fmtProb(acc.AccessFailure))
-		o.progress("churn %s joined=%.1f integrated=%.1f", sc.name, acc.Joined, acc.Integrated)
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"newcomers integrate through mutual friends, discovery nominations and introductions",
@@ -108,31 +121,28 @@ func ExtensionAdaptive(o Options) (*Table, error) {
 		Columns: []string{"adaptive", "coeff-friction", "cost-ratio", "delay-ratio",
 			"victim-votes-wasted"},
 	}
-	for _, enabled := range []bool{false, true} {
+	settings := []bool{false, true}
+	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
 		cfg := o.baseWorld()
-		cfg.Protocol.AdaptiveAcceptance = enabled
+		cfg.Protocol.AdaptiveAcceptance = settings[i]
 		cfg.Protocol.AdaptiveGain = 5
 		// Adaptive acceptance is keyed on busyness; make compute expensive
 		// (as with very large collections) so busyness is a real signal.
 		cfg.HashBytesPerSec = 16 << 10
-		baseline, err := RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		attack, err := RunAveraged(cfg, func() adversary.Adversary {
+		return cfg, func() adversary.Adversary {
 			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
-		}, o.seeds())
-		if err != nil {
-			return nil, err
 		}
-		cmp := Compare(attack, baseline)
-		wasted := attack.DefenderEffort - baseline.DefenderEffort
+	}, func(i int, cmp Comparison) {
+		wasted := cmp.Attack.DefenderEffort - cmp.Baseline.DefenderEffort
 		if wasted < 0 || math.IsNaN(wasted) {
 			wasted = 0
 		}
-		t.AddRow(fmt.Sprintf("%v", enabled), fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio),
+		t.AddRow(fmt.Sprintf("%v", settings[i]), fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio),
 			fmtRatio(cmp.DelayRatio), fmt.Sprintf("%.0f", wasted))
-		o.progress("adaptive=%v friction=%s", enabled, fmtRatio(cmp.Friction))
+		o.progress("adaptive=%v friction=%s", settings[i], fmtRatio(cmp.Friction))
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"adaptive acceptance raises the attacker's marginal cost of keeping victims busy (§9)")
@@ -153,10 +163,6 @@ func ExtensionCombined(o Options) (*Table, error) {
 	cfg := o.baseWorld()
 	cfg.DamageDiskYears = 1 // strong damage signal
 
-	baseline, err := RunAveraged(cfg, nil, o.seeds())
-	if err != nil {
-		return nil, err
-	}
 	stop := func() adversary.Adversary {
 		return &adversary.PipeStoppage{Pulse: adversary.Pulse{
 			Coverage: 0.7, Duration: 60 * sim.Day, Recuperation: 30 * sim.Day,
@@ -176,19 +182,34 @@ func ExtensionCombined(o Options) (*Table, error) {
 			return &adversary.Combined{Parts: []adversary.Adversary{stop(), brute()}}
 		}},
 	}
-	for _, sc := range scenarios {
-		stats := baseline
-		if sc.mk != nil {
-			var err error
-			stats, err = RunAveraged(cfg, sc.mk, o.seeds())
-			if err != nil {
-				return nil, err
+	// Every scenario job compares against the memoized baseline run, so the
+	// baseline is simulated once however the jobs interleave.
+	e := o.engine()
+	_, err := gather(len(scenarios), func(i int) (Comparison, error) {
+		// Attack first: independent runs fill the pool while the shared
+		// baseline's single flight is in progress (see attackSweep).
+		var stats RunStats
+		var err error
+		if scenarios[i].mk != nil {
+			if stats, err = e.RunAveraged(cfg, scenarios[i].mk, o.seeds()); err != nil {
+				return Comparison{}, err
 			}
 		}
-		cmp := Compare(stats, baseline)
-		t.AddRow(sc.name, fmtProb(stats.AccessFailure), fmtRatio(cmp.DelayRatio),
-			fmtRatio(cmp.Friction), fmt.Sprintf("%.0f", stats.SuccessfulPolls))
-		o.progress("combined %s afp=%s", sc.name, fmtProb(stats.AccessFailure))
+		baseline, err := e.RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return Comparison{}, err
+		}
+		if scenarios[i].mk == nil {
+			stats = baseline
+		}
+		return Compare(stats, baseline), nil
+	}, func(i int, cmp Comparison) {
+		t.AddRow(scenarios[i].name, fmtProb(cmp.Attack.AccessFailure), fmtRatio(cmp.DelayRatio),
+			fmtRatio(cmp.Friction), fmt.Sprintf("%.0f", cmp.Attack.SuccessfulPolls))
+		o.progress("combined %s afp=%s", scenarios[i].name, fmtProb(cmp.Attack.AccessFailure))
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"redundancy and rate limits keep the combination roughly additive: the stoppage dominates damage, the brute force dominates friction")

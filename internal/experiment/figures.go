@@ -44,39 +44,52 @@ func Figure2(o Options) (*Table, error) {
 		Title:   "Access failure probability vs inter-poll interval (no attack)",
 		Columns: []string{"interval(mo)", "mtbf(disk-yr)", "collection", "access-failure", "polls-ok"},
 	}
+	e := o.engine()
+	layers := o.layersFor()
+	type spec struct {
+		months  int
+		mtbf    float64
+		layered bool
+	}
+	var specs []spec
 	for _, months := range o.figure2Intervals() {
 		for _, mtbf := range o.figure2MTBFs() {
-			cfg := o.baseWorld()
-			cfg.Protocol.PollInterval = sched.Duration(sim.Duration(months) * sim.Month)
-			cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
-			cfg.DamageDiskYears = mtbf
-			stats, err := RunAveraged(cfg, nil, o.seeds())
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d", months), fmt.Sprintf("%.0f", mtbf),
-				fmt.Sprintf("%d AUs", cfg.AUs), fmtProb(stats.AccessFailure),
-				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
-			o.progress("fig2 interval=%dmo mtbf=%.0fy afp=%s", months, mtbf, fmtProb(stats.AccessFailure))
+			specs = append(specs, spec{months, mtbf, false})
 		}
 	}
 	// Large-collection curves (paper: 600 AUs at 1 and 5 disk-years).
-	layers := o.layersFor()
 	for _, mtbf := range []float64{1, 5} {
 		for _, months := range o.figure2Intervals() {
-			cfg := o.baseWorld()
-			cfg.Protocol.PollInterval = sched.Duration(sim.Duration(months) * sim.Month)
-			cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
-			cfg.DamageDiskYears = mtbf
-			stats, err := RunLayeredAveraged(cfg, nil, layers, 1)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(fmt.Sprintf("%d", months), fmt.Sprintf("%.0f", mtbf),
-				fmt.Sprintf("%d AUs (layered)", cfg.AUs*layers), fmtProb(stats.AccessFailure),
-				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
-			o.progress("fig2/large interval=%dmo mtbf=%.0fy afp=%s", months, mtbf, fmtProb(stats.AccessFailure))
+			specs = append(specs, spec{months, mtbf, true})
 		}
+	}
+	aus := o.baseWorld().AUs
+	_, err := gather(len(specs), func(i int) (RunStats, error) {
+		sp := specs[i]
+		cfg := o.baseWorld()
+		cfg.Protocol.PollInterval = sched.Duration(sim.Duration(sp.months) * sim.Month)
+		cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
+		cfg.DamageDiskYears = sp.mtbf
+		if sp.layered {
+			return e.RunLayeredAveraged(cfg, nil, layers, 1)
+		}
+		return e.RunAveraged(cfg, nil, o.seeds())
+	}, func(i int, stats RunStats) {
+		sp := specs[i]
+		if sp.layered {
+			t.AddRow(fmt.Sprintf("%d", sp.months), fmt.Sprintf("%.0f", sp.mtbf),
+				fmt.Sprintf("%d AUs (layered)", aus*layers), fmtProb(stats.AccessFailure),
+				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
+			o.progress("fig2/large interval=%dmo mtbf=%.0fy afp=%s", sp.months, sp.mtbf, fmtProb(stats.AccessFailure))
+		} else {
+			t.AddRow(fmt.Sprintf("%d", sp.months), fmt.Sprintf("%.0f", sp.mtbf),
+				fmt.Sprintf("%d AUs", aus), fmtProb(stats.AccessFailure),
+				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
+			o.progress("fig2 interval=%dmo mtbf=%.0fy afp=%s", sp.months, sp.mtbf, fmtProb(stats.AccessFailure))
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"paper: afp rises with the inter-poll interval; ~4.8e-4 at 3mo/5y (50 AUs), 5.2e-4 (600 AUs)")
@@ -114,48 +127,63 @@ type sweepPoint struct {
 	cmp      Comparison
 }
 
-// attackSweep runs a family of attacks against a shared baseline.
+// attackSweep runs a family of attacks against a shared baseline. All
+// (series, x) points are fanned across the engine; the baselines are
+// memoized, so each is simulated once no matter how many points compare
+// against it.
 func attackSweep(o Options, durations []sim.Duration, coverages []float64,
 	mk func(cov float64, dur sim.Duration) adversary.Adversary) ([]sweepPoint, error) {
 
+	e := o.engine()
 	base := o.baseWorld()
-	baseline, err := RunAveraged(base, nil, o.seeds())
-	if err != nil {
-		return nil, err
+	layers := o.layersFor()
+	type spec struct {
+		series  string
+		cov     float64
+		dur     sim.Duration
+		layered bool
 	}
-	var points []sweepPoint
+	var specs []spec
 	for _, cov := range coverages {
 		for _, dur := range durations {
-			cov, dur := cov, dur
-			attack, err := RunAveraged(base, func() adversary.Adversary { return mk(cov, dur) }, o.seeds())
-			if err != nil {
-				return nil, err
-			}
-			cmp := Compare(attack, baseline)
-			points = append(points, sweepPoint{series: fmtSeries(cov), duration: dur, cmp: cmp})
-			o.progress("sweep cov=%s dur=%dd afp=%s delay=%s friction=%s",
-				fmtSeries(cov), int(dur/sim.Day), fmtProb(attack.AccessFailure),
-				fmtRatio(cmp.DelayRatio), fmtRatio(cmp.Friction))
+			specs = append(specs, spec{fmtSeries(cov), cov, dur, false})
 		}
 	}
 	// The paper's extra series: 100% coverage on the layered large
 	// collection.
-	layers := o.layersFor()
-	largeBase, err := RunLayeredAveraged(base, nil, layers, 1)
-	if err != nil {
-		return nil, err
-	}
 	for _, dur := range durations {
-		dur := dur
-		attack, err := RunLayeredAveraged(base, func() adversary.Adversary { return mk(1.0, dur) }, layers, 1)
-		if err != nil {
-			return nil, err
-		}
-		cmp := Compare(attack, largeBase)
-		points = append(points, sweepPoint{series: fmt.Sprintf("100%% %dAUs", base.AUs*layers), duration: dur, cmp: cmp})
-		o.progress("sweep/large dur=%dd afp=%s", int(dur/sim.Day), fmtProb(attack.AccessFailure))
+		specs = append(specs, spec{fmt.Sprintf("100%% %dAUs", base.AUs*layers), 1.0, dur, true})
 	}
-	return points, nil
+	return gather(len(specs), func(i int) (sweepPoint, error) {
+		sp := specs[i]
+		mkA := func() adversary.Adversary { return mk(sp.cov, sp.dur) }
+		// Attack first: every job's attack run is independent, while the
+		// baseline is one shared memoized run — requesting it first would
+		// idle the pool behind its single flight.
+		var baseline, attack RunStats
+		var err error
+		if sp.layered {
+			if attack, err = e.RunLayeredAveraged(base, mkA, layers, 1); err == nil {
+				baseline, err = e.RunLayeredAveraged(base, nil, layers, 1)
+			}
+		} else {
+			if attack, err = e.RunAveraged(base, mkA, o.seeds()); err == nil {
+				baseline, err = e.RunAveraged(base, nil, o.seeds())
+			}
+		}
+		if err != nil {
+			return sweepPoint{}, err
+		}
+		return sweepPoint{series: sp.series, duration: sp.dur, cmp: Compare(attack, baseline)}, nil
+	}, func(i int, p sweepPoint) {
+		if specs[i].layered {
+			o.progress("sweep/large dur=%dd afp=%s", int(p.duration/sim.Day), fmtProb(p.cmp.Attack.AccessFailure))
+		} else {
+			o.progress("sweep cov=%s dur=%dd afp=%s delay=%s friction=%s",
+				p.series, int(p.duration/sim.Day), fmtProb(p.cmp.Attack.AccessFailure),
+				fmtRatio(p.cmp.DelayRatio), fmtRatio(p.cmp.Friction))
+		}
+	})
 }
 
 // sweepTables renders the three standard views of one attack sweep.
@@ -254,36 +282,44 @@ func Table1(o Options) (*Table, error) {
 		Columns: []string{"defection", "collection", "coeff-friction", "cost-ratio",
 			"delay-ratio", "access-failure"},
 	}
+	e := o.engine()
 	base := o.baseWorld()
-	baseline, err := RunAveraged(base, nil, o.seeds())
-	if err != nil {
-		return nil, err
-	}
 	layers := o.layersFor()
-	largeBaseline, err := RunLayeredAveraged(base, nil, layers, 1)
+	defections := []adversary.Defection{adversary.DefectIntro, adversary.DefectRemaining, adversary.DefectNone}
+	type pair struct{ small, large Comparison }
+	_, err := gather(len(defections), func(i int) (pair, error) {
+		d := defections[i]
+		mk := func() adversary.Adversary { return &adversary.BruteForce{Defection: d} }
+		// Attacks first; the two baselines are shared memoized runs (see
+		// attackSweep).
+		attack, err := e.RunAveraged(base, mk, o.seeds())
+		if err != nil {
+			return pair{}, err
+		}
+		large, err := e.RunLayeredAveraged(base, mk, layers, 1)
+		if err != nil {
+			return pair{}, err
+		}
+		baseline, err := e.RunAveraged(base, nil, o.seeds())
+		if err != nil {
+			return pair{}, err
+		}
+		largeBaseline, err := e.RunLayeredAveraged(base, nil, layers, 1)
+		if err != nil {
+			return pair{}, err
+		}
+		return pair{Compare(attack, baseline), Compare(large, largeBaseline)}, nil
+	}, func(i int, p pair) {
+		d := defections[i]
+		t.AddRow(d.String(), fmt.Sprintf("%d AUs", base.AUs), fmtRatio(p.small.Friction),
+			fmtRatio(p.small.CostRatio), fmtRatio(p.small.DelayRatio), fmtProb(p.small.Attack.AccessFailure))
+		o.progress("table1 %v small friction=%s cost=%s", d, fmtRatio(p.small.Friction), fmtRatio(p.small.CostRatio))
+		t.AddRow(d.String(), fmt.Sprintf("%d AUs (layered)", base.AUs*layers), fmtRatio(p.large.Friction),
+			fmtRatio(p.large.CostRatio), fmtRatio(p.large.DelayRatio), fmtProb(p.large.Attack.AccessFailure))
+		o.progress("table1 %v large friction=%s cost=%s", d, fmtRatio(p.large.Friction), fmtRatio(p.large.CostRatio))
+	})
 	if err != nil {
 		return nil, err
-	}
-	for _, d := range []adversary.Defection{adversary.DefectIntro, adversary.DefectRemaining, adversary.DefectNone} {
-		d := d
-		mk := func() adversary.Adversary { return &adversary.BruteForce{Defection: d} }
-		attack, err := RunAveraged(base, mk, o.seeds())
-		if err != nil {
-			return nil, err
-		}
-		cmp := Compare(attack, baseline)
-		t.AddRow(d.String(), fmt.Sprintf("%d AUs", base.AUs), fmtRatio(cmp.Friction),
-			fmtRatio(cmp.CostRatio), fmtRatio(cmp.DelayRatio), fmtProb(attack.AccessFailure))
-		o.progress("table1 %v small friction=%s cost=%s", d, fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio))
-
-		large, err := RunLayeredAveraged(base, mk, layers, 1)
-		if err != nil {
-			return nil, err
-		}
-		lcmp := Compare(large, largeBaseline)
-		t.AddRow(d.String(), fmt.Sprintf("%d AUs (layered)", base.AUs*layers), fmtRatio(lcmp.Friction),
-			fmtRatio(lcmp.CostRatio), fmtRatio(lcmp.DelayRatio), fmtProb(large.AccessFailure))
-		o.progress("table1 %v large friction=%s cost=%s", d, fmtRatio(lcmp.Friction), fmtRatio(lcmp.CostRatio))
 	}
 	t.Notes = append(t.Notes,
 		"paper (50 AUs): INTRO 1.40/1.93/1.11/5.0e-4, REMAINING 2.61/1.55/1.11/5.9e-4, NONE 2.60/1.02/1.11/5.6e-4",
@@ -296,7 +332,7 @@ func Table1(o Options) (*Table, error) {
 // Baseline runs the no-attack scenario at the given options and returns its
 // stats.
 func Baseline(o Options) (RunStats, error) {
-	return RunAveraged(o.baseWorld(), nil, o.seeds())
+	return o.engine().RunAveraged(o.baseWorld(), nil, o.seeds())
 }
 
 // WorldConfig exposes the scale's world configuration (for examples).

@@ -128,77 +128,48 @@ func combineLayers(layers []RunStats) RunStats {
 	return out
 }
 
+// runOneLayer executes one layer's world on the calling goroutine. Layer 0
+// measures and returns the population's task load; later layers carry the
+// replayed background load of the layers beneath them (ratePerNs scaled by
+// the layer index, as the serial implementation did).
+func runOneLayer(cfg world.Config, mkAttack func() adversary.Adversary, layer int,
+	ratePerNs, meanDurNs float64) (RunStats, float64, float64, error) {
+	c := cfg
+	c.Seed = cfg.Seed + uint64(layer)*7_919
+	w, err := world.New(c)
+	if err != nil {
+		return RunStats{}, 0, 0, err
+	}
+	if layer > 0 {
+		for i, p := range w.Peers {
+			bg := &bgLoad{
+				seed:      c.Seed ^ uint64(i)<<32 ^ 0xb6,
+				ratePerNs: ratePerNs * float64(layer),
+				meanDurNs: meanDurNs,
+				bucket:    int64(sim.Day),
+			}
+			p.Schedule().Background = bg.Tasks
+		}
+	}
+	if mkAttack != nil {
+		mkAttack().Install(w)
+	}
+	w.Run()
+	if layer == 0 {
+		ratePerNs, meanDurNs = measureLoad(w)
+	}
+	return statsFromWorld(w), ratePerNs, meanDurNs, nil
+}
+
 // RunLayered executes `layers` stacked runs of cfg, each carrying the
 // statistically replayed background load of the layers beneath it, and
-// aggregates. cfg.AUs is the per-layer collection size.
+// aggregates. cfg.AUs is the per-layer collection size. Layers 1..n-1 run
+// concurrently on the process-wide worker pool.
 func RunLayered(cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
-	if layers <= 1 {
-		return RunOne(cfg, mkAttack)
-	}
-	var ratePerNs, meanDurNs float64
-	stats := make([]RunStats, 0, layers)
-	for layer := 0; layer < layers; layer++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(layer)*7_919
-		w, err := world.New(c)
-		if err != nil {
-			return RunStats{}, err
-		}
-		if layer > 0 {
-			for i, p := range w.Peers {
-				bg := &bgLoad{
-					seed:      c.Seed ^ uint64(i)<<32 ^ 0xb6,
-					ratePerNs: ratePerNs * float64(layer),
-					meanDurNs: meanDurNs,
-					bucket:    int64(sim.Day),
-				}
-				p.Schedule().Background = bg.Tasks
-			}
-		}
-		if mkAttack != nil {
-			mkAttack().Install(w)
-		}
-		w.Run()
-		if layer == 0 {
-			ratePerNs, meanDurNs = measureLoad(w)
-		}
-		m := w.Metrics
-		var s RunStats
-		s.AccessFailure = m.AccessFailureProbability()
-		if gap, ok := m.MeanSuccessInterval(); ok {
-			s.MeanSuccessGap = gap / float64(sim.Day)
-		} else {
-			s.MeanSuccessGap = math.Inf(1)
-		}
-		s.SuccessfulPolls = float64(m.SuccessfulPolls())
-		s.TotalPolls = float64(m.TotalPolls())
-		s.DefenderEffort = float64(w.DefenderEffort())
-		s.AttackerEffort = float64(w.AdversaryLedger.Total)
-		if s.SuccessfulPolls > 0 {
-			s.EffortPerPoll = s.DefenderEffort / s.SuccessfulPolls
-		}
-		s.Alarms = float64(m.Alarms)
-		s.DamageEvents = float64(m.DamageEvents)
-		s.RepairsFixed = float64(m.RepairsFixed)
-		stats = append(stats, s)
-	}
-	return combineLayers(stats), nil
+	return newSharedEngine().RunLayered(cfg, mkAttack, layers)
 }
 
 // RunLayeredAveraged repeats RunLayered across seeds.
 func RunLayeredAveraged(cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
-	if seeds <= 0 {
-		seeds = 1
-	}
-	runs := make([]RunStats, 0, seeds)
-	for s := 0; s < seeds; s++ {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(s)*1_000_003
-		r, err := RunLayered(c, mkAttack, layers)
-		if err != nil {
-			return RunStats{}, err
-		}
-		runs = append(runs, r)
-	}
-	return average(runs), nil
+	return newSharedEngine().RunLayeredAveraged(cfg, mkAttack, layers, seeds)
 }

@@ -1,0 +1,321 @@
+package experiment
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"lockss/internal/adversary"
+	"lockss/internal/world"
+)
+
+// Engine schedules independent simulation runs across a bounded worker pool.
+//
+// Every (config, seed) run is a self-contained single-goroutine computation,
+// so the engine fans them out freely: seeds of an averaged run, data points
+// of a figure sweep, and layers 1..n-1 of a layered run (layer 0 must finish
+// first — it measures the background load replayed beneath the others) all
+// execute concurrently, bounded by the worker count. Results are combined in
+// the same order as the serial loops they replace, and per-run seeds use the
+// same derivation, so output is bit-identical at any worker count.
+//
+// Attack-free runs are memoized by (Config, layers): figures share their
+// baselines, so `-figure all` stops recomputing them. Attack runs are not
+// memoized — adversaries are constructed by closures, which have no identity
+// to key on. Memoized entries are single-flight: concurrent requests for the
+// same baseline wait for the first computation instead of duplicating it.
+//
+// A failed run aborts the engine: runs still queued fail fast instead of
+// completing simulations whose results would be discarded. Discard the
+// engine after a failure; a fresh NewEngine costs nothing.
+type Engine struct {
+	workers int
+	sem     chan struct{}
+	// aborted is set when any leaf run fails. Runs still queued behind the
+	// semaphore then fail fast with errAborted instead of burning worker
+	// slots on results that will be discarded; the engine stays aborted,
+	// matching the CLI's fail-on-first-error behavior.
+	aborted atomic.Bool
+
+	mu     sync.Mutex
+	memo   map[memoKey]*memoEntry
+	hits   uint64
+	misses uint64
+}
+
+// memoKey identifies an attack-free run. world.Config is a flat value
+// struct, so it is directly comparable.
+type memoKey struct {
+	cfg    world.Config
+	layers int
+}
+
+type memoEntry struct {
+	done  chan struct{}
+	stats RunStats
+	err   error
+}
+
+// NewEngine returns an engine running at most workers simulations at once;
+// workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{
+		workers: workers,
+		sem:     make(chan struct{}, workers),
+		memo:    make(map[memoKey]*memoEntry),
+	}
+}
+
+// defaultSem is the process-wide worker pool behind the package-level Run*
+// wrappers and engine-less Options.
+var defaultSem = sync.OnceValue(func() chan struct{} {
+	return make(chan struct{}, runtime.GOMAXPROCS(0))
+})
+
+// newSharedEngine returns an engine with a fresh memo and abort state that
+// draws slots from the process-wide pool. Library callers who parallelize
+// their own calls to the package-level helpers therefore compose: every
+// simulation in the process contends for the same GOMAXPROCS slots instead
+// of each call spawning its own full-width pool.
+func newSharedEngine() *Engine {
+	sem := defaultSem()
+	return &Engine{
+		workers: cap(sem),
+		sem:     sem,
+		memo:    make(map[memoKey]*memoEntry),
+	}
+}
+
+// Workers reports the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// MemoStats reports how many attack-free runs were served from the memo
+// versus computed.
+func (e *Engine) MemoStats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// withSlot runs one leaf computation under a worker slot. Only leaf
+// simulation runs hold slots — orchestration layers (seed and point fan-out,
+// memo waits) block without one, so nesting cannot deadlock the pool. The
+// abort flag is re-checked after the slot is acquired, so runs that were
+// queued when an earlier run failed are skipped rather than executed.
+func (e *Engine) withSlot(fn func() error) error {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+	if e.aborted.Load() {
+		return errAborted
+	}
+	if err := fn(); err != nil {
+		e.aborted.Store(true)
+		return err
+	}
+	return nil
+}
+
+// memoized returns the cached result for key, computing it single-flight on
+// first request. compute must not hold a worker slot on entry.
+func (e *Engine) memoized(key memoKey, compute func() (RunStats, error)) (RunStats, error) {
+	e.mu.Lock()
+	if ent, ok := e.memo[key]; ok {
+		e.hits++
+		e.mu.Unlock()
+		<-ent.done
+		return ent.stats, ent.err
+	}
+	ent := &memoEntry{done: make(chan struct{})}
+	e.memo[key] = ent
+	e.misses++
+	e.mu.Unlock()
+	ent.stats, ent.err = compute()
+	if errors.Is(ent.err, errAborted) {
+		// The run never executed; don't let the sentinel shadow the root
+		// cause for future requests.
+		e.mu.Lock()
+		delete(e.memo, key)
+		e.mu.Unlock()
+	}
+	close(ent.done)
+	return ent.stats, ent.err
+}
+
+// RunOne executes a single seeded run under a worker slot, memoized when
+// attack-free.
+func (e *Engine) RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
+	run := func() (s RunStats, err error) {
+		err = e.withSlot(func() error {
+			var ferr error
+			s, ferr = RunOne(cfg, mkAttack)
+			return ferr
+		})
+		return s, err
+	}
+	if mkAttack == nil {
+		return e.memoized(memoKey{cfg, 1}, run)
+	}
+	return run()
+}
+
+// RunAveraged executes seeds runs with consecutive derived seeds across the
+// pool and averages. The per-run seed derivation matches the serial path.
+func (e *Engine) RunAveraged(cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	runs, err := gather(seeds, func(s int) (RunStats, error) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*1_000_003
+		return e.RunOne(c, mkAttack)
+	}, nil)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return average(runs), nil
+}
+
+// RunLayered executes a layered run: layer 0 first (it measures the
+// background load), then layers 1..n-1 concurrently, aggregated in layer
+// order. Memoized when attack-free.
+func (e *Engine) RunLayered(cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
+	if layers <= 1 {
+		return e.RunOne(cfg, mkAttack)
+	}
+	compute := func() (RunStats, error) {
+		first, ratePerNs, meanDurNs, err := e.runLayer(cfg, mkAttack, 0, 0, 0)
+		if err != nil {
+			return RunStats{}, err
+		}
+		rest, err := gather(layers-1, func(i int) (RunStats, error) {
+			s, _, _, err := e.runLayer(cfg, mkAttack, i+1, ratePerNs, meanDurNs)
+			return s, err
+		}, nil)
+		if err != nil {
+			return RunStats{}, err
+		}
+		return combineLayers(append([]RunStats{first}, rest...)), nil
+	}
+	if mkAttack == nil {
+		return e.memoized(memoKey{cfg, layers}, compute)
+	}
+	return compute()
+}
+
+// runLayer executes one layer's world under a worker slot; layer 0 also
+// measures the load replayed beneath later layers.
+func (e *Engine) runLayer(cfg world.Config, mkAttack func() adversary.Adversary, layer int,
+	ratePerNs, meanDurNs float64) (s RunStats, rate, mean float64, err error) {
+	err = e.withSlot(func() error {
+		var ferr error
+		s, rate, mean, ferr = runOneLayer(cfg, mkAttack, layer, ratePerNs, meanDurNs)
+		return ferr
+	})
+	return s, rate, mean, err
+}
+
+// RunLayeredAveraged repeats RunLayered across seeds, fanned across the pool.
+func (e *Engine) RunLayeredAveraged(cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	runs, err := gather(seeds, func(s int) (RunStats, error) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*1_000_003
+		return e.RunLayered(c, mkAttack, layers)
+	}, nil)
+	if err != nil {
+		return RunStats{}, err
+	}
+	return average(runs), nil
+}
+
+// errAborted marks jobs skipped because an earlier-completing job failed.
+var errAborted = errors.New("aborted after earlier failure")
+
+// compareSweep is the common shape of the ablation and extension studies:
+// n parameter settings, each yielding a (config, adversary) pair whose
+// baseline and attack runs are averaged over o.seeds() and compared. Jobs
+// fan across the engine; emit runs in strict index order.
+func compareSweep(o Options, n int, setting func(i int) (world.Config, func() adversary.Adversary),
+	emit func(i int, cmp Comparison)) error {
+	e := o.engine()
+	_, err := gather(n, func(i int) (Comparison, error) {
+		cfg, mkAttack := setting(i)
+		baseline, err := e.RunAveraged(cfg, nil, o.seeds())
+		if err != nil {
+			return Comparison{}, err
+		}
+		attack, err := e.RunAveraged(cfg, mkAttack, o.seeds())
+		if err != nil {
+			return Comparison{}, err
+		}
+		return Compare(attack, baseline), nil
+	}, emit)
+	return err
+}
+
+// gather evaluates n independent jobs concurrently and returns their results
+// in index order. done, if non-nil, is called in strict index order as each
+// prefix completes, so progress reporting and row emission keep the serial
+// order at any worker count. After any job fails, jobs that have not yet
+// started are skipped (in-flight simulations cannot be interrupted) and the
+// lowest-index real error is returned.
+func gather[T any](n int, run func(i int) (T, error), done func(i int, v T)) ([]T, error) {
+	if n == 1 {
+		v, err := run(0)
+		if err != nil {
+			return nil, err
+		}
+		if done != nil {
+			done(0, v)
+		}
+		return []T{v}, nil
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	var failed atomic.Bool
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer close(ready[i])
+			if failed.Load() {
+				errs[i] = errAborted
+				return
+			}
+			results[i], errs[i] = run(i)
+			if errs[i] != nil {
+				failed.Store(true)
+			}
+		}(i)
+	}
+	var firstErr error
+	broken := false
+	for i := 0; i < n; i++ {
+		<-ready[i]
+		if errs[i] != nil {
+			broken = true
+			if firstErr == nil && !errors.Is(errs[i], errAborted) {
+				firstErr = errs[i]
+			}
+			continue
+		}
+		if !broken && done != nil {
+			done(i, results[i])
+		}
+	}
+	if broken {
+		if firstErr == nil {
+			firstErr = errAborted
+		}
+		return nil, firstErr
+	}
+	return results, nil
+}

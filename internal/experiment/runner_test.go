@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"lockss/internal/adversary"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// runnerCfg is a deliberately small population so the runner tests can
+// afford many full simulation runs.
+func runnerCfg() world.Config {
+	cfg := world.Default()
+	cfg.Peers = 12
+	cfg.AUs = 2
+	cfg.AUSize = 16 << 20
+	cfg.Duration = 120 * sim.Day
+	return cfg
+}
+
+func runnerAttack() adversary.Adversary {
+	return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+		Coverage: 1, Duration: 30 * sim.Day, Recuperation: 15 * sim.Day,
+	}}
+}
+
+// TestEngineDeterminism asserts the engine's results are bit-identical to
+// the serial reference loop and invariant under the worker count, for plain,
+// attack, and layered runs.
+func TestEngineDeterminism(t *testing.T) {
+	cfg := runnerCfg()
+	const seeds = 3
+
+	// Serial reference: the loop the engine replaced.
+	var runs []RunStats
+	for s := 0; s < seeds; s++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(s)*1_000_003
+		r, err := RunOne(c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	want := average(runs)
+
+	for _, workers := range []int{1, 8} {
+		e := NewEngine(workers)
+		got, err := e.RunAveraged(cfg, nil, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: RunAveraged diverges from serial reference:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+
+	// Attack and layered runs: workers=1 vs workers=8 must agree exactly.
+	e1, e8 := NewEngine(1), NewEngine(8)
+	a1, err := e1.RunAveraged(cfg, runnerAttack, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := e8.RunAveraged(cfg, runnerAttack, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a8 {
+		t.Errorf("attack RunAveraged differs across worker counts:\n w1 %+v\n w8 %+v", a1, a8)
+	}
+	l1, err := e1.RunLayeredAveraged(cfg, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := e8.RunLayeredAveraged(cfg, nil, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l8 {
+		t.Errorf("layered run differs across worker counts:\n w1 %+v\n w8 %+v", l1, l8)
+	}
+}
+
+// TestEngineMemoization asserts attack-free runs are served from the memo on
+// repeat, attack runs never are, and memoized results equal computed ones.
+func TestEngineMemoization(t *testing.T) {
+	cfg := runnerCfg()
+	e := NewEngine(4)
+
+	first, err := e.RunAveraged(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.MemoStats(); hits != 0 || misses != 2 {
+		t.Errorf("after first averaged run: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+	again, err := e.RunAveraged(cfg, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.MemoStats(); hits != 2 || misses != 2 {
+		t.Errorf("after repeat: hits=%d misses=%d, want 2/2", hits, misses)
+	}
+	if first != again {
+		t.Errorf("memoized result differs from computed: %+v vs %+v", again, first)
+	}
+
+	// Attack runs are not memoized (closures have no identity to key on).
+	if _, err := e.RunOne(cfg, runnerAttack); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.MemoStats(); hits != 2 || misses != 2 {
+		t.Errorf("attack run touched the memo: hits=%d misses=%d", hits, misses)
+	}
+
+	// Layered baselines memoize at the composite granularity.
+	if _, err := e.RunLayered(cfg, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunLayered(cfg, nil, 2); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.MemoStats(); hits != 3 || misses != 3 {
+		t.Errorf("layered memo: hits=%d misses=%d, want 3/3", hits, misses)
+	}
+}
+
+// TestEngineAbort asserts a failed leaf run aborts the engine: the real
+// error surfaces, and runs submitted afterwards fail fast with errAborted
+// instead of executing.
+func TestEngineAbort(t *testing.T) {
+	e := NewEngine(2)
+	bad := runnerCfg()
+	bad.Peers = 0 // world.New rejects this
+	if _, err := e.RunOne(bad, nil); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+	if _, err := e.RunOne(runnerCfg(), nil); !errors.Is(err, errAborted) {
+		t.Fatalf("run after failure: err = %v, want errAborted", err)
+	}
+	// A fan-out containing one bad config reports the real error, not the
+	// abort sentinel, on a fresh engine.
+	e2 := NewEngine(2)
+	cfgs := []world.Config{runnerCfg(), bad, runnerCfg()}
+	_, err := gather(len(cfgs), func(i int) (RunStats, error) {
+		return e2.RunOne(cfgs[i], nil)
+	}, nil)
+	if err == nil || errors.Is(err, errAborted) {
+		t.Fatalf("fan-out with bad config: err = %v, want the world.New error", err)
+	}
+}
+
+// TestGatherAbort asserts a failing job surfaces its error, stops done
+// callbacks, and skips jobs that have not started yet.
+func TestGatherAbort(t *testing.T) {
+	boom := errors.New("boom")
+	var emitted atomic.Int32
+	_, err := gather(64, func(i int) (int, error) {
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	}, func(i int, v int) {
+		emitted.Add(1)
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// The failure is at index 0, so no done callback may ever fire — later
+	// jobs either abort or complete, but the prefix is broken either way.
+	if emitted.Load() != 0 {
+		t.Errorf("done fired %d times after index-0 failure", emitted.Load())
+	}
+}
+
+// TestGatherOrder asserts gather delivers done callbacks and results in
+// index order regardless of completion order, and bounds nothing.
+func TestGatherOrder(t *testing.T) {
+	const n = 20
+	var running atomic.Int32
+	var emitted []int
+	results, err := gather(n, func(i int) (int, error) {
+		running.Add(1)
+		defer running.Add(-1)
+		// Finish in roughly reverse order by spinning longer for low
+		// indexes; ordering must still come out strictly ascending.
+		for j := 0; j < (n-i)*1000; j++ {
+			_ = j
+		}
+		return i * i, nil
+	}, func(i int, v int) {
+		if v != i*i {
+			t.Errorf("done(%d) got %d", i, v)
+		}
+		emitted = append(emitted, i)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Errorf("results[%d] = %d", i, v)
+		}
+	}
+	if len(emitted) != n {
+		t.Fatalf("emitted %d callbacks, want %d", len(emitted), n)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("done callbacks out of order: %v", emitted)
+		}
+	}
+}
