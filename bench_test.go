@@ -10,6 +10,7 @@ package lockss
 // as a suite.
 
 import (
+	"context"
 	"testing"
 
 	"lockss/internal/adversary"
@@ -247,6 +248,44 @@ func BenchmarkAblationEffortBalancing(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRunScenario measures the declarative scenario path end to end: a
+// three-point coverage sweep with per-point baseline comparison on the
+// reduced-scale population. The shared baseline memoizes, so the benchmark
+// reflects grid fan-out plus one baseline and three attack runs.
+func BenchmarkRunScenario(b *testing.B) {
+	spec := &experiment.Scenario{
+		Name:        "bench-coverage-sweep",
+		Description: "pipe stoppage coverage sweep",
+		Base: func(o experiment.Options) world.Config {
+			cfg := benchWorld()
+			cfg.Seed = 1 + o.BaseSeed
+			return cfg
+		},
+		Axes: []experiment.Axis{{
+			Name:   "coverage",
+			Values: []float64{0.4, 0.7, 1.0},
+		}},
+		Attack: func(o experiment.Options, cfg world.Config, pt experiment.Point) adversary.Adversary {
+			return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+				Coverage: pt.At(0), Duration: 90 * sim.Day, Recuperation: 30 * sim.Day,
+			}}
+		},
+		Seeds:   1,
+		Compare: true,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunScenario(context.Background(), spec, experiment.Options{
+			Scale: experiment.ScaleTiny, BaseSeed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Stats.AccessFailure, "afp")
+		b.ReportMetric(last.Cmp.DelayRatio, "delay-ratio")
 	}
 }
 

@@ -1,43 +1,130 @@
 // Command lockss-sim regenerates the evaluation figures and tables of
 // "Attrition Defenses for a Peer-to-Peer Digital Preservation System"
-// (USENIX 2005) from the simulator in this repository.
+// (USENIX 2005) from the simulator in this repository, and runs any
+// scenario registered with the declarative scenario API.
 //
 // Usage:
 //
-//	lockss-sim -figure 2            # one figure: 2..8, table1, ablations
-//	lockss-sim -figure all          # everything
-//	lockss-sim -scale paper         # tiny | small | paper
-//	lockss-sim -workers 8           # parallel runs (default: all cores)
+//	lockss-sim -list                     # list registered scenarios
+//	lockss-sim -figure 2                 # one artifact: 2..8, table1, ablations
+//	lockss-sim -figure all               # everything
+//	lockss-sim -scenario figure2,table1  # run scenarios by registry name
+//	lockss-sim -output json              # text | json | csv
+//	lockss-sim -scale paper              # tiny | small | paper
+//	lockss-sim -workers 8                # parallel runs (default: all cores)
 //	lockss-sim -seeds 3 -seed 42 -v
 //
 // Output is bit-identical at any -workers value: runs are scheduled across
 // the worker pool but seeded, combined and printed exactly as the serial
-// path would.
+// path would. SIGINT/SIGTERM cancel the run: queued simulations are skipped
+// and the command exits promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"lockss/internal/experiment"
 )
 
+// selection pairs a registry name with the table index the legacy -figure
+// spellings select; -1 selects all of the scenario's tables.
+type selection struct {
+	scenario string
+	table    int
+}
+
+func selections(figure string) ([]selection, error) {
+	all := []selection{
+		{"figure2", -1},
+		{"figures-pipe-stoppage", -1},
+		{"figures-admission-flood", -1},
+		{"table1", -1},
+		{"ablation-refractory", -1},
+		{"ablation-drop-prob", -1},
+		{"ablation-introductions", -1},
+		{"ablation-desynchronization", -1},
+		{"ablation-effort-balancing", -1},
+		{"extension-churn", -1},
+		{"extension-adaptive", -1},
+		{"extension-combined", -1},
+	}
+	switch figure {
+	case "all":
+		return all, nil
+	case "2":
+		return []selection{{"figure2", -1}}, nil
+	case "3", "4", "5":
+		return []selection{{"figures-pipe-stoppage", int(figure[0] - '3')}}, nil
+	case "6", "7", "8":
+		return []selection{{"figures-admission-flood", int(figure[0] - '6')}}, nil
+	case "table1":
+		return []selection{{"table1", -1}}, nil
+	case "ablations":
+		return all[4:9], nil
+	case "extensions":
+		return all[9:12], nil
+	}
+	return nil, fmt.Errorf("unknown figure %q", figure)
+}
+
+// emitter writes tables in the selected output format.
+func emitter(format string) (func(t *experiment.Table) error, error) {
+	switch format {
+	case "text":
+		return func(t *experiment.Table) error { t.Fprint(os.Stdout); return nil }, nil
+	case "json":
+		// One JSON object per table (JSON Lines).
+		return func(t *experiment.Table) error { return t.WriteJSON(os.Stdout) }, nil
+	case "csv":
+		// Tables are separated by a "# id: title" comment line and a blank
+		// line, so a multi-table run stays splittable.
+		return func(t *experiment.Table) error {
+			fmt.Printf("# %s: %s\n", t.ID, t.Title)
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			return nil
+		}, nil
+	}
+	return nil, fmt.Errorf("unknown output format %q", format)
+}
+
 func main() {
 	var (
-		figure  = flag.String("figure", "all", "which artifact to regenerate: 2,3,4,5,6,7,8,table1,ablations,extensions,all")
-		scale   = flag.String("scale", "small", "experiment fidelity: tiny, small, paper")
-		seeds   = flag.Int("seeds", 0, "seeds per data point (0 = scale default)")
-		seed    = flag.Uint64("seed", 0, "base seed offset")
-		workers = flag.Int("workers", 0, "concurrent simulation runs (<=0 = GOMAXPROCS, i.e. all usable cores)")
-		verbose = flag.Bool("v", false, "print per-data-point progress")
+		figure   = flag.String("figure", "", "legacy artifact selector: 2,3,4,5,6,7,8,table1,ablations,extensions,all")
+		scenario = flag.String("scenario", "", "comma-separated registered scenario names to run (see -list)")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		output   = flag.String("output", "text", "output format: text, json, csv")
+		scale    = flag.String("scale", "small", "experiment fidelity: tiny, small, paper")
+		seeds    = flag.Int("seeds", 0, "seeds per data point (0 = scale default)")
+		seed     = flag.Uint64("seed", 0, "base seed offset")
+		workers  = flag.Int("workers", 0, "concurrent simulation runs (<=0 = GOMAXPROCS, i.e. all usable cores)")
+		verbose  = flag.Bool("v", false, "print per-data-point progress")
 	)
 	flag.Parse()
 
-	// One engine for the whole invocation: -figure all reuses memoized
-	// baseline runs across figures.
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "lockss-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *list {
+		for _, s := range experiment.List() {
+			fmt.Printf("%-28s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	// One engine for the whole invocation: running several scenarios reuses
+	// memoized baseline runs across them.
 	eng := experiment.NewEngine(*workers)
 	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed, Engine: eng}
 	switch strings.ToLower(*scale) {
@@ -58,87 +145,55 @@ func main() {
 		}
 	}
 
-	emit := func(tables ...*experiment.Table) {
-		for _, t := range tables {
-			t.Fprint(os.Stdout)
-		}
-	}
-	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "lockss-sim: %v\n", err)
-		os.Exit(1)
+	emit, err := emitter(strings.ToLower(*output))
+	if err != nil {
+		fail(err)
 	}
 
-	want := func(name string) bool {
+	// Resolve what to run: explicit -scenario names win; -figure (default
+	// "all" when neither flag is given) maps onto the same registry.
+	var sels []selection
+	switch {
+	case *scenario != "" && *figure != "":
+		fail(fmt.Errorf("-scenario and -figure are mutually exclusive"))
+	case *scenario != "":
+		for _, name := range strings.Split(*scenario, ",") {
+			sels = append(sels, selection{strings.TrimSpace(name), -1})
+		}
+	default:
 		f := strings.ToLower(*figure)
-		return f == "all" || f == name
+		if f == "" {
+			f = "all"
+		}
+		sels, err = selections(f)
+		if err != nil {
+			fail(err)
+		}
 	}
 
-	if want("2") {
-		t, err := experiment.Figure2(opts)
+	// SIGINT/SIGTERM cancel the run; queued simulations are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	for _, sel := range sels {
+		spec, ok := experiment.Lookup(sel.scenario)
+		if !ok {
+			fail(fmt.Errorf("scenario %q not registered (try -list)", sel.scenario))
+		}
+		tables, err := spec.Run(ctx, opts)
 		if err != nil {
 			fail(err)
 		}
-		emit(t)
-	}
-	if want("3") || want("4") || want("5") {
-		ts, err := experiment.FiguresPipeStoppage(opts)
-		if err != nil {
-			fail(err)
+		if sel.table >= 0 {
+			tables = tables[sel.table : sel.table+1]
 		}
-		if strings.ToLower(*figure) == "all" {
-			emit(ts...)
-		} else {
-			idx := map[string]int{"3": 0, "4": 1, "5": 2}[strings.ToLower(*figure)]
-			emit(ts[idx])
-		}
-	}
-	if want("6") || want("7") || want("8") {
-		ts, err := experiment.FiguresAdmissionFlood(opts)
-		if err != nil {
-			fail(err)
-		}
-		if strings.ToLower(*figure) == "all" {
-			emit(ts...)
-		} else {
-			idx := map[string]int{"6": 0, "7": 1, "8": 2}[strings.ToLower(*figure)]
-			emit(ts[idx])
-		}
-	}
-	if want("table1") {
-		t, err := experiment.Table1(opts)
-		if err != nil {
-			fail(err)
-		}
-		emit(t)
-	}
-	if want("ablations") {
-		for _, gen := range []func(experiment.Options) (*experiment.Table, error){
-			experiment.AblationRefractory,
-			experiment.AblationDropProb,
-			experiment.AblationIntroductions,
-			experiment.AblationDesynchronization,
-			experiment.AblationEffortBalancing,
-		} {
-			t, err := gen(opts)
-			if err != nil {
+		for _, t := range tables {
+			if err := emit(t); err != nil {
 				fail(err)
 			}
-			emit(t)
 		}
 	}
-	if want("extensions") {
-		for _, gen := range []func(experiment.Options) (*experiment.Table, error){
-			experiment.ExtensionChurn,
-			experiment.ExtensionAdaptive,
-			experiment.ExtensionCombined,
-		} {
-			t, err := gen(opts)
-			if err != nil {
-				fail(err)
-			}
-			emit(t)
-		}
-	}
+
 	if *verbose {
 		hits, misses := eng.MemoStats()
 		fmt.Fprintf(os.Stderr, "engine: %d workers; baseline runs computed=%d memo-hits=%d\n",

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := lockss.DefaultConfig()
 	cfg.Peers = 30
 	cfg.AUs = 5
@@ -19,7 +21,7 @@ func main() {
 	cfg.Duration = 1 * lockss.Year
 	cfg.DamageDiskYears = 5
 
-	baseline, err := lockss.Run(cfg, nil)
+	baseline, err := lockss.Run(ctx, cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,7 +35,7 @@ func main() {
 
 	for _, d := range []lockss.Defection{lockss.DefectIntro, lockss.DefectRemaining, lockss.DefectNone} {
 		d := d
-		res, err := lockss.Run(cfg, func() lockss.Adversary { return lockss.NewBruteForce(d) })
+		res, err := lockss.Run(ctx, cfg, func() lockss.Adversary { return lockss.NewBruteForce(d) })
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := lockss.DefaultConfig()
 	cfg.Peers = 30
 	cfg.AUs = 5
@@ -19,7 +21,7 @@ func main() {
 	cfg.Duration = 2 * lockss.Year
 	cfg.DamageDiskYears = 1
 
-	baseline, err := lockss.Run(cfg, nil)
+	baseline, err := lockss.Run(ctx, cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,7 +34,7 @@ func main() {
 
 	for _, cov := range []float64{0.1, 0.4, 0.7, 1.0} {
 		cov := cov
-		res, err := lockss.Run(cfg, func() lockss.Adversary {
+		res, err := lockss.Run(ctx, cfg, func() lockss.Adversary {
 			return lockss.NewPipeStoppage(cov, 90*lockss.Day, 30*lockss.Day)
 		})
 		if err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("Library consortium: 40 peers x 8 journal-years, 2 simulated years")
 	fmt.Println("Storage layer: one bad block per disk-year (pessimistic)")
 	fmt.Println()
@@ -27,7 +29,7 @@ func main() {
 		cfg.Protocol.PollInterval = lockss.Duration(months) * lockss.Month
 		cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
 
-		res, err := lockss.Run(cfg, nil)
+		res, err := lockss.Run(ctx, cfg, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +11,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A small community: 30 libraries preserving 5 journal-years of 64 MiB
 	// each, auditing every 3 months, with a realistically lousy storage
 	// layer (one bad block per disk-year).
@@ -20,7 +22,7 @@ func main() {
 	cfg.Duration = 1 * lockss.Year
 	cfg.DamageDiskYears = 1
 
-	results, err := lockss.Run(cfg, nil)
+	results, err := lockss.Run(ctx, cfg, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,7 +4,7 @@
 package experiment
 
 import (
-	"fmt"
+	"context"
 	"math"
 
 	"lockss/internal/adversary"
@@ -109,11 +109,17 @@ func average(runs []RunStats) RunStats {
 	return out
 }
 
+// Run executes one simulation under the process-wide worker pool, honoring
+// context cancellation while queued. mkAttack may be nil for a baseline.
+func Run(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
+	return newSharedEngine().RunOne(ctx, cfg, mkAttack)
+}
+
 // RunAveraged executes seeds runs with consecutive seeds and averages,
 // fanning the runs across the process-wide worker pool. Results are
-// identical to running the seeds serially.
-func RunAveraged(cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
-	return newSharedEngine().RunAveraged(cfg, mkAttack, seeds)
+// identical to running the seeds serially. seeds must be at least 1.
+func RunAveraged(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
+	return newSharedEngine().RunAveraged(ctx, cfg, mkAttack, seeds)
 }
 
 // Compare derives the paper's ratio metrics.
@@ -238,9 +244,4 @@ func (o Options) layersFor() int {
 	default:
 		return 3
 	}
-}
-
-// fmtSeries formats a coverage fraction as the paper's series label.
-func fmtSeries(coverage float64) string {
-	return fmt.Sprintf("%.0f%%", coverage*100)
 }

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -185,7 +186,7 @@ func TestRunLayeredAggregates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	layered, err := RunLayered(cfg, nil, 2)
+	layered, err := RunLayered(context.Background(), cfg, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

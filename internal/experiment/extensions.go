@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -10,7 +11,8 @@ import (
 )
 
 // Extension experiments beyond the paper's evaluation, covering its §9
-// future-work agenda: dynamic populations (churn) and adaptive acceptance.
+// future-work agenda: dynamic populations (churn), adaptive acceptance, and
+// combined adversary strategies — each a registered Scenario.
 
 // ChurnResult captures one churn scenario's outcome.
 type ChurnResult struct {
@@ -42,176 +44,203 @@ func runChurn(cfg world.Config, churn world.Churn, mkAttack func() adversary.Adv
 	}, nil
 }
 
-// ExtensionChurn studies newcomers joining a running network, absent attack
-// and under a sustained admission-control flood (which keeps victims'
-// refractory periods triggered — exactly the condition that makes cold
-// integration hard and that introductions were designed to relieve).
-func ExtensionChurn(o Options) (*Table, error) {
-	t := &Table{
-		ID:    "Extension E1",
-		Title: "Dynamic population: newcomers joining over time (§9 future work)",
-		Columns: []string{"scenario", "joined", "integrated", "newcomer-polls-ok",
-			"newcomer-votes", "access-failure"},
-	}
-	cfg := o.baseWorld()
-	cfg.DamageDiskYears = 5
-	churn := world.Churn{JoinPerYear: 8, MaxJoins: 8, FriendsPerJoiner: 4}
-	if o.Scale == ScalePaper {
-		churn = world.Churn{JoinPerYear: 12, MaxJoins: 20, FriendsPerJoiner: 5}
-	}
+// churnNames labels the churn scenario axis.
+var churnNames = []string{"no attack", "admission flood"}
 
-	scenarios := []struct {
-		name string
-		mk   func() adversary.Adversary
-	}{
-		{"no attack", nil},
-		{"admission flood", func() adversary.Adversary {
-			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
-				Coverage: 1.0, Duration: cfg.Duration, Recuperation: 30 * sim.Day,
-			}}
-		}},
-	}
-	// Fan every (scenario, seed) churn run across the engine; accumulation
-	// and row emission stay in scenario-major, seed-minor order.
-	e := o.engine()
-	seeds := o.seeds()
-	accs := make([]ChurnResult, len(scenarios))
-	_, err := gather(len(scenarios)*seeds, func(i int) (ChurnResult, error) {
-		sc := scenarios[i/seeds]
-		c := cfg
-		c.Seed = cfg.Seed + uint64(i%seeds)*1_000_003
-		var r ChurnResult
-		err := e.withSlot(func() error {
-			var ferr error
-			r, ferr = runChurn(c, churn, sc.mk)
-			return ferr
-		})
-		return r, err
-	}, func(i int, r ChurnResult) {
-		acc := &accs[i/seeds]
-		acc.Joined += r.Joined / float64(seeds)
-		acc.Integrated += r.Integrated / float64(seeds)
-		acc.NewcomerPollsOK += r.NewcomerPollsOK / float64(seeds)
-		acc.NewcomerVotes += r.NewcomerVotes / float64(seeds)
-		acc.AccessFailure += r.AccessFailure / float64(seeds)
-		if (i+1)%seeds == 0 {
-			sc := scenarios[i/seeds]
-			t.AddRow(sc.name, fmt.Sprintf("%.1f", acc.Joined), fmt.Sprintf("%.1f", acc.Integrated),
-				fmt.Sprintf("%.0f", acc.NewcomerPollsOK), fmt.Sprintf("%.0f", acc.NewcomerVotes),
-				fmtProb(acc.AccessFailure))
-			o.progress("churn %s joined=%.1f integrated=%.1f", sc.name, acc.Joined, acc.Integrated)
+// scenarioExtensionChurn studies newcomers joining a running network,
+// absent attack and under a sustained admission-control flood (which keeps
+// victims' refractory periods triggered — exactly the condition that makes
+// cold integration hard and that introductions were designed to relieve).
+// The churn statistics are not part of RunStats, so the scenario supplies a
+// custom RunPoint that fans the seeded churn runs across the engine and
+// reports through PointResult.Extra.
+var scenarioExtensionChurn = mustRegister(&Scenario{
+	Name:        "extension-churn",
+	Description: "Extension E1: dynamic population, newcomers joining over time (§9 future work)",
+	Mutators:    []ConfigMutator{func(cfg *world.Config) { cfg.DamageDiskYears = 5 }},
+	Axes: []Axis{{
+		Name:   "scenario",
+		Values: []float64{0, 1},
+		Format: func(v float64) string { return churnNames[int(v)] },
+	}},
+	RunPoint: func(ctx context.Context, e *Engine, o Options, cfg world.Config, pt Point) (PointResult, error) {
+		churn := world.Churn{JoinPerYear: 8, MaxJoins: 8, FriendsPerJoiner: 4}
+		if o.Scale == ScalePaper {
+			churn = world.Churn{JoinPerYear: 12, MaxJoins: 20, FriendsPerJoiner: 5}
 		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Notes = append(t.Notes,
-		"newcomers integrate through mutual friends, discovery nominations and introductions",
-		"the admission flood slows but does not prevent integration (friends bypass the refractory period)")
-	return t, nil
+		var mk func() adversary.Adversary
+		if int(pt.At(0)) == 1 {
+			mk = func() adversary.Adversary { return sustainedFlood(cfg) }
+		}
+		// Fan the seeded churn runs across the engine; accumulation stays
+		// in seed order, so results match the serial loop bit-for-bit.
+		seeds := o.seeds()
+		var acc ChurnResult
+		_, err := gather(seeds, func(s int) (ChurnResult, error) {
+			c := cfg
+			c.Seed = cfg.Seed + uint64(s)*1_000_003
+			var r ChurnResult
+			err := e.withSlot(ctx, func() error {
+				var ferr error
+				r, ferr = runChurn(c, churn, mk)
+				return ferr
+			})
+			return r, err
+		}, func(s int, r ChurnResult) {
+			acc.Joined += r.Joined / float64(seeds)
+			acc.Integrated += r.Integrated / float64(seeds)
+			acc.NewcomerPollsOK += r.NewcomerPollsOK / float64(seeds)
+			acc.NewcomerVotes += r.NewcomerVotes / float64(seeds)
+			acc.AccessFailure += r.AccessFailure / float64(seeds)
+		})
+		if err != nil {
+			return PointResult{}, err
+		}
+		return PointResult{
+			Stats: RunStats{AccessFailure: acc.AccessFailure},
+			Extra: map[string]float64{
+				"joined":            acc.Joined,
+				"integrated":        acc.Integrated,
+				"newcomer-polls-ok": acc.NewcomerPollsOK,
+				"newcomer-votes":    acc.NewcomerVotes,
+			},
+		}, nil
+	},
+	Tables: func(o Options, res *Result) []*Table {
+		t := &Table{
+			ID:    "Extension E1",
+			Title: "Dynamic population: newcomers joining over time (§9 future work)",
+			Columns: []string{"scenario", "joined", "integrated", "newcomer-polls-ok",
+				"newcomer-votes", "access-failure"},
+		}
+		for i := range res.Points {
+			pr := &res.Points[i]
+			t.AddCells(Str(churnNames[int(pr.Point.At(0))]),
+				Num("%.1f", pr.Extra["joined"]), Num("%.1f", pr.Extra["integrated"]),
+				Num("%.0f", pr.Extra["newcomer-polls-ok"]), Num("%.0f", pr.Extra["newcomer-votes"]),
+				Prob(pr.Stats.AccessFailure))
+		}
+		t.Notes = append(t.Notes,
+			"newcomers integrate through mutual friends, discovery nominations and introductions",
+			"the admission flood slows but does not prevent integration (friends bypass the refractory period)")
+		return []*Table{t}
+	},
+	Progress: func(o Options, pt Point, pr PointResult) string {
+		return fmt.Sprintf("churn %s joined=%.1f integrated=%.1f",
+			churnNames[int(pt.At(0))], pr.Extra["joined"], pr.Extra["integrated"])
+	},
+})
+
+// ExtensionChurn reproduces extension E1 through the scenario registry.
+func ExtensionChurn(o Options) (*Table, error) {
+	return oneTable(runRegistered(scenarioExtensionChurn.Name, o))
 }
 
-// ExtensionAdaptive evaluates §9's adaptive-acceptance idea against the
-// brute-force REMAINING attack: victims modulate acceptance of unknown/
+// scenarioExtensionAdaptive evaluates §9's adaptive-acceptance idea against
+// the brute-force REMAINING attack: victims modulate acceptance of unknown/
 // in-debt invitations by recent busyness.
-func ExtensionAdaptive(o Options) (*Table, error) {
-	t := &Table{
-		ID:    "Extension E2",
-		Title: "Adaptive acceptance vs brute-force REMAINING (§9 future work)",
-		Columns: []string{"adaptive", "coeff-friction", "cost-ratio", "delay-ratio",
-			"victim-votes-wasted"},
-	}
-	settings := []bool{false, true}
-	err := compareSweep(o, len(settings), func(i int) (world.Config, func() adversary.Adversary) {
-		cfg := o.baseWorld()
-		cfg.Protocol.AdaptiveAcceptance = settings[i]
+var scenarioExtensionAdaptive = mustRegister(&Scenario{
+	Name:        "extension-adaptive",
+	Description: "Extension E2: adaptive acceptance vs brute-force REMAINING (§9 future work)",
+	Mutators: []ConfigMutator{func(cfg *world.Config) {
 		cfg.Protocol.AdaptiveGain = 5
 		// Adaptive acceptance is keyed on busyness; make compute expensive
 		// (as with very large collections) so busyness is a real signal.
 		cfg.HashBytesPerSec = 16 << 10
-		return cfg, func() adversary.Adversary {
-			return &adversary.BruteForce{Defection: adversary.DefectRemaining}
+	}},
+	Axes: []Axis{boolAxis("adaptive", []bool{false, true},
+		func(cfg *world.Config, on bool) { cfg.Protocol.AdaptiveAcceptance = on })},
+	Attack: func(o Options, cfg world.Config, pt Point) adversary.Adversary {
+		return bruteRemaining()
+	},
+	Compare: true,
+	Tables: func(o Options, res *Result) []*Table {
+		t := &Table{
+			ID:    "Extension E2",
+			Title: "Adaptive acceptance vs brute-force REMAINING (§9 future work)",
+			Columns: []string{"adaptive", "coeff-friction", "cost-ratio", "delay-ratio",
+				"victim-votes-wasted"},
 		}
-	}, func(i int, cmp Comparison) {
-		wasted := cmp.Attack.DefenderEffort - cmp.Baseline.DefenderEffort
-		if wasted < 0 || math.IsNaN(wasted) {
-			wasted = 0
+		for i := range res.Points {
+			pr := &res.Points[i]
+			wasted := pr.Stats.DefenderEffort - pr.Baseline.DefenderEffort
+			if wasted < 0 || math.IsNaN(wasted) {
+				wasted = 0
+			}
+			t.AddCells(Bool(pr.Point.At(0) != 0), Ratio(pr.Cmp.Friction), Ratio(pr.Cmp.CostRatio),
+				Ratio(pr.Cmp.DelayRatio), Num("%.0f", wasted))
 		}
-		t.AddRow(fmt.Sprintf("%v", settings[i]), fmtRatio(cmp.Friction), fmtRatio(cmp.CostRatio),
-			fmtRatio(cmp.DelayRatio), fmt.Sprintf("%.0f", wasted))
-		o.progress("adaptive=%v friction=%s", settings[i], fmtRatio(cmp.Friction))
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Notes = append(t.Notes,
-		"adaptive acceptance raises the attacker's marginal cost of keeping victims busy (§9)")
-	return t, nil
+		t.Notes = append(t.Notes,
+			"adaptive acceptance raises the attacker's marginal cost of keeping victims busy (§9)")
+		return []*Table{t}
+	},
+	Progress: func(o Options, pt Point, pr PointResult) string {
+		return fmt.Sprintf("adaptive=%v friction=%s", pt.At(0) != 0, fmtRatio(pr.Cmp.Friction))
+	},
+})
+
+// ExtensionAdaptive reproduces extension E2 through the scenario registry.
+func ExtensionAdaptive(o Options) (*Table, error) {
+	return oneTable(runRegistered(scenarioExtensionAdaptive.Name, o))
 }
 
-// ExtensionCombined studies §9's third question: does an attrition attack
-// compose with another to weaken the system more than either alone? We pair
-// a pipe stoppage (softening communication) with a brute-force REMAINING
-// attacker (draining compute) and compare against each in isolation.
-func ExtensionCombined(o Options) (*Table, error) {
-	t := &Table{
-		ID:    "Extension E3",
-		Title: "Combined adversary strategies (§9 future work)",
-		Columns: []string{"attack", "access-failure", "delay-ratio", "coeff-friction",
-			"polls-ok"},
-	}
-	cfg := o.baseWorld()
-	cfg.DamageDiskYears = 1 // strong damage signal
+// combinedParts builds the §9 combined-strategy attack roster: a pipe
+// stoppage softening communication and a brute-force REMAINING attacker
+// draining compute, alone and together.
+var combinedNames = []string{"baseline", "pipe stoppage 70%/60d", "brute force REMAINING", "combined"}
 
-	stop := func() adversary.Adversary {
-		return &adversary.PipeStoppage{Pulse: adversary.Pulse{
-			Coverage: 0.7, Duration: 60 * sim.Day, Recuperation: 30 * sim.Day,
-		}}
-	}
-	brute := func() adversary.Adversary {
-		return &adversary.BruteForce{Defection: adversary.DefectRemaining}
-	}
-	scenarios := []struct {
-		name string
-		mk   func() adversary.Adversary
-	}{
-		{"baseline", nil},
-		{"pipe stoppage 70%/60d", stop},
-		{"brute force REMAINING", brute},
-		{"combined", func() adversary.Adversary {
-			return &adversary.Combined{Parts: []adversary.Adversary{stop(), brute()}}
-		}},
-	}
-	// Every scenario job compares against the memoized baseline run, so the
-	// baseline is simulated once however the jobs interleave.
-	e := o.engine()
-	_, err := gather(len(scenarios), func(i int) (Comparison, error) {
-		// Attack first: independent runs fill the pool while the shared
-		// baseline's single flight is in progress (see attackSweep).
-		var stats RunStats
-		var err error
-		if scenarios[i].mk != nil {
-			if stats, err = e.RunAveraged(cfg, scenarios[i].mk, o.seeds()); err != nil {
-				return Comparison{}, err
-			}
+func combinedStoppage() adversary.Adversary {
+	return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+		Coverage: 0.7, Duration: 60 * sim.Day, Recuperation: 30 * sim.Day,
+	}}
+}
+
+// scenarioExtensionCombined studies §9's third question: does an attrition
+// attack compose with another to weaken the system more than either alone?
+var scenarioExtensionCombined = mustRegister(&Scenario{
+	Name:        "extension-combined",
+	Description: "Extension E3: combined adversary strategies (§9 future work)",
+	Mutators:    []ConfigMutator{func(cfg *world.Config) { cfg.DamageDiskYears = 1 }}, // strong damage signal
+	Axes: []Axis{{
+		Name:   "attack",
+		Values: []float64{0, 1, 2, 3},
+		Format: func(v float64) string { return combinedNames[int(v)] },
+	}},
+	Attack: func(o Options, cfg world.Config, pt Point) adversary.Adversary {
+		switch int(pt.At(0)) {
+		case 1:
+			return combinedStoppage()
+		case 2:
+			return bruteRemaining()
+		case 3:
+			return &adversary.Combined{Parts: []adversary.Adversary{combinedStoppage(), bruteRemaining()}}
 		}
-		baseline, err := e.RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return Comparison{}, err
+		return nil // the baseline row compares the memoized baseline to itself
+	},
+	Compare: true,
+	Tables: func(o Options, res *Result) []*Table {
+		t := &Table{
+			ID:    "Extension E3",
+			Title: "Combined adversary strategies (§9 future work)",
+			Columns: []string{"attack", "access-failure", "delay-ratio", "coeff-friction",
+				"polls-ok"},
 		}
-		if scenarios[i].mk == nil {
-			stats = baseline
+		for i := range res.Points {
+			pr := &res.Points[i]
+			t.AddCells(Str(combinedNames[int(pr.Point.At(0))]), Prob(pr.Stats.AccessFailure),
+				Ratio(pr.Cmp.DelayRatio), Ratio(pr.Cmp.Friction),
+				Num("%.0f", pr.Stats.SuccessfulPolls))
 		}
-		return Compare(stats, baseline), nil
-	}, func(i int, cmp Comparison) {
-		t.AddRow(scenarios[i].name, fmtProb(cmp.Attack.AccessFailure), fmtRatio(cmp.DelayRatio),
-			fmtRatio(cmp.Friction), fmt.Sprintf("%.0f", cmp.Attack.SuccessfulPolls))
-		o.progress("combined %s afp=%s", scenarios[i].name, fmtProb(cmp.Attack.AccessFailure))
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Notes = append(t.Notes,
-		"redundancy and rate limits keep the combination roughly additive: the stoppage dominates damage, the brute force dominates friction")
-	return t, nil
+		t.Notes = append(t.Notes,
+			"redundancy and rate limits keep the combination roughly additive: the stoppage dominates damage, the brute force dominates friction")
+		return []*Table{t}
+	},
+	Progress: func(o Options, pt Point, pr PointResult) string {
+		return fmt.Sprintf("combined %s afp=%s", combinedNames[int(pt.At(0))], fmtProb(pr.Stats.AccessFailure))
+	},
+})
+
+// ExtensionCombined reproduces extension E3 through the scenario registry.
+func ExtensionCombined(o Options) (*Table, error) {
+	return oneTable(runRegistered(scenarioExtensionCombined.Name, o))
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"lockss/internal/adversary"
@@ -8,6 +9,10 @@ import (
 	"lockss/internal/sim"
 	"lockss/internal/world"
 )
+
+// The paper's figures and tables, each expressed as a registered Scenario:
+// the sweep grid, attack factory and rendering are declarative data, and
+// the exported generator functions are thin wrappers over the registry.
 
 // --- Figure 2: baseline access failure vs inter-poll interval -------------
 
@@ -35,68 +40,147 @@ func (o Options) figure2MTBFs() []float64 {
 	}
 }
 
-// Figure2 reproduces the baseline: mean access failure probability for
-// increasing inter-poll intervals at varying mean times between storage
-// failures, for the small and the layered large collection, absent attack.
-func Figure2(o Options) (*Table, error) {
-	t := &Table{
-		ID:      "Figure 2",
-		Title:   "Access failure probability vs inter-poll interval (no attack)",
-		Columns: []string{"interval(mo)", "mtbf(disk-yr)", "collection", "access-failure", "polls-ok"},
-	}
-	e := o.engine()
-	layers := o.layersFor()
-	type spec struct {
-		months  int
-		mtbf    float64
-		layered bool
-	}
-	var specs []spec
-	for _, months := range o.figure2Intervals() {
-		for _, mtbf := range o.figure2MTBFs() {
-			specs = append(specs, spec{months, mtbf, false})
-		}
-	}
-	// Large-collection curves (paper: 600 AUs at 1 and 5 disk-years).
-	for _, mtbf := range []float64{1, 5} {
-		for _, months := range o.figure2Intervals() {
-			specs = append(specs, spec{months, mtbf, true})
-		}
-	}
+// figure2LargeMTBFs is the subset of storage-failure rates the paper plots
+// for the layered large collection.
+var figure2LargeMTBFs = []float64{1, 5}
+
+// collectionLabel renders the paper's collection-size labels.
+func collectionLabel(o Options, layered bool) string {
 	aus := o.baseWorld().AUs
-	_, err := gather(len(specs), func(i int) (RunStats, error) {
-		sp := specs[i]
-		cfg := o.baseWorld()
-		cfg.Protocol.PollInterval = sched.Duration(sim.Duration(sp.months) * sim.Month)
-		cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
-		cfg.DamageDiskYears = sp.mtbf
-		if sp.layered {
-			return e.RunLayeredAveraged(cfg, nil, layers, 1)
-		}
-		return e.RunAveraged(cfg, nil, o.seeds())
-	}, func(i int, stats RunStats) {
-		sp := specs[i]
-		if sp.layered {
-			t.AddRow(fmt.Sprintf("%d", sp.months), fmt.Sprintf("%.0f", sp.mtbf),
-				fmt.Sprintf("%d AUs (layered)", aus*layers), fmtProb(stats.AccessFailure),
-				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
-			o.progress("fig2/large interval=%dmo mtbf=%.0fy afp=%s", sp.months, sp.mtbf, fmtProb(stats.AccessFailure))
-		} else {
-			t.AddRow(fmt.Sprintf("%d", sp.months), fmt.Sprintf("%.0f", sp.mtbf),
-				fmt.Sprintf("%d AUs", aus), fmtProb(stats.AccessFailure),
-				fmt.Sprintf("%.0f", stats.SuccessfulPolls))
-			o.progress("fig2 interval=%dmo mtbf=%.0fy afp=%s", sp.months, sp.mtbf, fmtProb(stats.AccessFailure))
-		}
-	})
-	if err != nil {
-		return nil, err
+	if layered {
+		return fmt.Sprintf("%d AUs (layered)", aus*o.layersFor())
 	}
-	t.Notes = append(t.Notes,
-		"paper: afp rises with the inter-poll interval; ~4.8e-4 at 3mo/5y (50 AUs), 5.2e-4 (600 AUs)")
-	return t, nil
+	return fmt.Sprintf("%d AUs", aus)
 }
 
-// --- Figures 3-5: pipe stoppage sweep --------------------------------------
+// layeredSeedsAt and layeredLayersAt build the per-point overrides for
+// scenarios where layeredAt flags the layered large-collection points:
+// those points stack o.layersFor() layers at a single seed, as the paper's
+// 600-AU technique does.
+func layeredSeedsAt(layeredAt func(o Options, pt Point) bool) func(o Options, pt Point) int {
+	return func(o Options, pt Point) int {
+		if layeredAt(o, pt) {
+			return 1
+		}
+		return o.seeds()
+	}
+}
+
+func layeredLayersAt(layeredAt func(o Options, pt Point) bool) func(o Options, pt Point) int {
+	return func(o Options, pt Point) int {
+		if layeredAt(o, pt) {
+			return o.layersFor()
+		}
+		return 1
+	}
+}
+
+func intsToFloats(vs []int) []float64 {
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func durationsToDays(ds []sim.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d / sim.Day)
+	}
+	return out
+}
+
+// days converts a day-denominated axis value back to simulated time.
+func days(v float64) sim.Duration { return sim.Duration(v) * sim.Day }
+
+// scenarioFigure2 reproduces the baseline: mean access failure probability
+// for increasing inter-poll intervals at varying mean times between storage
+// failures, for the small and the layered large collection, absent attack.
+var scenarioFigure2 = mustRegister(&Scenario{
+	Name:        "figure2",
+	Description: "Figure 2: baseline access failure vs inter-poll interval (no attack)",
+	Axes: []Axis{
+		{Name: "collection", Values: []float64{0, 1}},
+		{
+			Name:      "interval(mo)",
+			ValuesFor: func(o Options) []float64 { return intsToFloats(o.figure2Intervals()) },
+			Apply: func(cfg *world.Config, v float64) {
+				cfg.Protocol.PollInterval = sched.Duration(sim.Duration(v) * sim.Month)
+				cfg.Protocol.GradeDecay = cfg.Protocol.PollInterval
+			},
+		},
+		{
+			Name:      "mtbf(disk-yr)",
+			ValuesFor: func(o Options) []float64 { return o.figure2MTBFs() },
+			Apply:     func(cfg *world.Config, v float64) { cfg.DamageDiskYears = v },
+		},
+	},
+	// The paper plots the layered large collection only at 1 and 5
+	// disk-years.
+	Filter: func(o Options, pt Point) bool {
+		if pt.At(0) == 0 {
+			return true
+		}
+		for _, m := range figure2LargeMTBFs {
+			if pt.At(2) == m {
+				return true
+			}
+		}
+		return false
+	},
+	SeedsAt:  layeredSeedsAt(func(o Options, pt Point) bool { return pt.At(0) != 0 }),
+	LayersAt: layeredLayersAt(func(o Options, pt Point) bool { return pt.At(0) != 0 }),
+	Tables: func(o Options, res *Result) []*Table {
+		t := &Table{
+			ID:      "Figure 2",
+			Title:   "Access failure probability vs inter-poll interval (no attack)",
+			Columns: []string{"interval(mo)", "mtbf(disk-yr)", "collection", "access-failure", "polls-ok"},
+		}
+		intervals := o.figure2Intervals()
+		mtbfs := o.figure2MTBFs()
+		row := func(pr *PointResult, layered bool) {
+			t.AddCells(Int(int(pr.Point.At(1))), Num("%.0f", pr.Point.At(2)),
+				Str(collectionLabel(o, layered)), Prob(pr.Stats.AccessFailure),
+				Num("%.0f", pr.Stats.SuccessfulPolls))
+		}
+		for i := range intervals {
+			for j := range mtbfs {
+				row(res.At(0, i, j), false)
+			}
+		}
+		// Large-collection curves, storage-failure series major like the
+		// paper's legend.
+		for _, m := range figure2LargeMTBFs {
+			for j, v := range mtbfs {
+				if v != m {
+					continue
+				}
+				for i := range intervals {
+					row(res.At(1, i, j), true)
+				}
+			}
+		}
+		t.Notes = append(t.Notes,
+			"paper: afp rises with the inter-poll interval; ~4.8e-4 at 3mo/5y (50 AUs), 5.2e-4 (600 AUs)")
+		return []*Table{t}
+	},
+	Progress: func(o Options, pt Point, pr PointResult) string {
+		series := "fig2"
+		if pt.At(0) != 0 {
+			series = "fig2/large"
+		}
+		return fmt.Sprintf("%s interval=%dmo mtbf=%.0fy afp=%s",
+			series, int(pt.At(1)), pt.At(2), fmtProb(pr.Stats.AccessFailure))
+	},
+})
+
+// Figure2 reproduces the paper's Figure 2 through the scenario registry.
+func Figure2(o Options) (*Table, error) {
+	return oneTable(runRegistered(scenarioFigure2.Name, o))
+}
+
+// --- Figures 3-5 and 6-8: pulsed attack sweeps ------------------------------
 
 func (o Options) stoppageDurations() []sim.Duration {
 	switch o.Scale {
@@ -106,6 +190,17 @@ func (o Options) stoppageDurations() []sim.Duration {
 		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 90 * sim.Day, 180 * sim.Day}
 	default:
 		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 90 * sim.Day}
+	}
+}
+
+func (o Options) floodDurations() []sim.Duration {
+	switch o.Scale {
+	case ScalePaper:
+		return []sim.Duration{1 * sim.Day, 5 * sim.Day, 10 * sim.Day, 30 * sim.Day, 90 * sim.Day, 180 * sim.Day, 720 * sim.Day}
+	case ScaleSmall:
+		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 180 * sim.Day, 720 * sim.Day}
+	default:
+		return []sim.Duration{10 * sim.Day, 90 * sim.Day, 360 * sim.Day}
 	}
 }
 
@@ -120,211 +215,208 @@ func (o Options) coverages() []float64 {
 	}
 }
 
-// sweepPoint is one (series, x) cell of an attack sweep.
-type sweepPoint struct {
-	series   string
-	duration sim.Duration
-	cmp      Comparison
+// sweepSeries resolves one series index of an attack sweep: its coverage
+// fraction, whether it is the layered large collection, and its label.
+func sweepSeries(o Options, idx int) (cov float64, layered bool, label string) {
+	covs := o.coverages()
+	if idx < len(covs) {
+		return covs[idx], false, fmtSeries(covs[idx])
+	}
+	base := o.baseWorld()
+	return 1.0, true, fmt.Sprintf("100%% %dAUs", base.AUs*o.layersFor())
 }
 
-// attackSweep runs a family of attacks against a shared baseline. All
-// (series, x) points are fanned across the engine; the baselines are
-// memoized, so each is simulated once no matter how many points compare
-// against it.
-func attackSweep(o Options, durations []sim.Duration, coverages []float64,
-	mk func(cov float64, dur sim.Duration) adversary.Adversary) ([]sweepPoint, error) {
+// sweepIsLayered flags the extra large-collection series of a sweep grid.
+func sweepIsLayered(o Options, pt Point) bool {
+	return int(pt.At(0)) == len(o.coverages())
+}
 
-	e := o.engine()
-	base := o.baseWorld()
-	layers := o.layersFor()
-	type spec struct {
-		series  string
-		cov     float64
-		dur     sim.Duration
-		layered bool
-	}
-	var specs []spec
-	for _, cov := range coverages {
-		for _, dur := range durations {
-			specs = append(specs, spec{fmtSeries(cov), cov, dur, false})
-		}
-	}
-	// The paper's extra series: 100% coverage on the layered large
-	// collection.
-	for _, dur := range durations {
-		specs = append(specs, spec{fmt.Sprintf("100%% %dAUs", base.AUs*layers), 1.0, dur, true})
-	}
-	return gather(len(specs), func(i int) (sweepPoint, error) {
-		sp := specs[i]
-		mkA := func() adversary.Adversary { return mk(sp.cov, sp.dur) }
-		// Attack first: every job's attack run is independent, while the
-		// baseline is one shared memoized run — requesting it first would
-		// idle the pool behind its single flight.
-		var baseline, attack RunStats
-		var err error
-		if sp.layered {
-			if attack, err = e.RunLayeredAveraged(base, mkA, layers, 1); err == nil {
-				baseline, err = e.RunLayeredAveraged(base, nil, layers, 1)
+// attackSweepScenario builds the shared shape of the pulsed-attack figures
+// (3-5 pipe stoppage, 6-8 admission flood): a (series, attack-days) grid —
+// the series are the paper's coverage fractions plus the layered large
+// collection at full coverage — with every point compared against the
+// shared memoized baseline.
+func attackSweepScenario(name, desc string, durations func(o Options) []float64,
+	mk func(cov float64, dur sim.Duration) adversary.Adversary,
+	ids, titles [3]string, notes [3][]string) *Scenario {
+
+	return mustRegister(&Scenario{
+		Name:        name,
+		Description: desc,
+		Axes: []Axis{
+			{
+				Name: "series",
+				ValuesFor: func(o Options) []float64 {
+					vs := make([]float64, len(o.coverages())+1)
+					for i := range vs {
+						vs[i] = float64(i)
+					}
+					return vs
+				},
+			},
+			{Name: "attack-days", ValuesFor: durations},
+		},
+		Attack: func(o Options, cfg world.Config, pt Point) adversary.Adversary {
+			cov, _, _ := sweepSeries(o, int(pt.At(0)))
+			return mk(cov, days(pt.At(1)))
+		},
+		SeedsAt:  layeredSeedsAt(sweepIsLayered),
+		LayersAt: layeredLayersAt(sweepIsLayered),
+		Compare:  true,
+		Tables: func(o Options, res *Result) []*Table {
+			metrics := [3]func(c Comparison) Cell{
+				func(c Comparison) Cell { return Prob(c.Attack.AccessFailure) },
+				func(c Comparison) Cell { return Ratio(c.DelayRatio) },
+				func(c Comparison) Cell { return Ratio(c.Friction) },
 			}
-		} else {
-			if attack, err = e.RunAveraged(base, mkA, o.seeds()); err == nil {
-				baseline, err = e.RunAveraged(base, nil, o.seeds())
+			cols := [3]string{"access-failure", "delay-ratio", "coeff-friction"}
+			out := make([]*Table, 3)
+			for i := range out {
+				t := &Table{ID: ids[i], Title: titles[i],
+					Columns: []string{"coverage", "attack-days", cols[i]}}
+				for p := range res.Points {
+					pr := &res.Points[p]
+					_, _, label := sweepSeries(o, int(pr.Point.At(0)))
+					t.AddCells(Str(label), Int(int(pr.Point.At(1))), metrics[i](*pr.Cmp))
+				}
+				t.Notes = append(t.Notes, notes[i]...)
+				out[i] = t
 			}
-		}
-		if err != nil {
-			return sweepPoint{}, err
-		}
-		return sweepPoint{series: sp.series, duration: sp.dur, cmp: Compare(attack, baseline)}, nil
-	}, func(i int, p sweepPoint) {
-		if specs[i].layered {
-			o.progress("sweep/large dur=%dd afp=%s", int(p.duration/sim.Day), fmtProb(p.cmp.Attack.AccessFailure))
-		} else {
-			o.progress("sweep cov=%s dur=%dd afp=%s delay=%s friction=%s",
-				p.series, int(p.duration/sim.Day), fmtProb(p.cmp.Attack.AccessFailure),
-				fmtRatio(p.cmp.DelayRatio), fmtRatio(p.cmp.Friction))
-		}
+			return out
+		},
+		Progress: func(o Options, pt Point, pr PointResult) string {
+			_, layered, label := sweepSeries(o, int(pt.At(0)))
+			if layered {
+				return fmt.Sprintf("sweep/large dur=%dd afp=%s",
+					int(pt.At(1)), fmtProb(pr.Cmp.Attack.AccessFailure))
+			}
+			return fmt.Sprintf("sweep cov=%s dur=%dd afp=%s delay=%s friction=%s",
+				label, int(pt.At(1)), fmtProb(pr.Cmp.Attack.AccessFailure),
+				fmtRatio(pr.Cmp.DelayRatio), fmtRatio(pr.Cmp.Friction))
+		},
 	})
 }
 
-// sweepTables renders the three standard views of one attack sweep.
-func sweepTables(points []sweepPoint, ids [3]string, titles [3]string) []*Table {
-	mkTable := func(id, title, metric string, get func(Comparison) string) *Table {
-		t := &Table{ID: id, Title: title,
-			Columns: []string{"coverage", "attack-days", metric}}
-		for _, p := range points {
-			t.AddRow(p.series, fmt.Sprintf("%d", int(p.duration/sim.Day)), get(p.cmp))
-		}
-		return t
-	}
-	return []*Table{
-		mkTable(ids[0], titles[0], "access-failure", func(c Comparison) string { return fmtProb(c.Attack.AccessFailure) }),
-		mkTable(ids[1], titles[1], "delay-ratio", func(c Comparison) string { return fmtRatio(c.DelayRatio) }),
-		mkTable(ids[2], titles[2], "coeff-friction", func(c Comparison) string { return fmtRatio(c.Friction) }),
-	}
-}
-
-// FiguresPipeStoppage reproduces Figures 3, 4 and 5: access failure
+// scenarioPipeStoppage reproduces Figures 3, 4 and 5: access failure
 // probability, delay ratio and coefficient of friction under repeated pipe
 // stoppage of varying duration and coverage.
+var scenarioPipeStoppage = attackSweepScenario(
+	"figures-pipe-stoppage",
+	"Figures 3-5: access failure, delay ratio and friction under pipe stoppage",
+	func(o Options) []float64 { return durationsToDays(o.stoppageDurations()) },
+	func(cov float64, dur sim.Duration) adversary.Adversary {
+		return &adversary.PipeStoppage{Pulse: adversary.Pulse{
+			Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
+		}}
+	},
+	[3]string{"Figure 3", "Figure 4", "Figure 5"},
+	[3]string{
+		"Access failure probability under pipe stoppage",
+		"Delay ratio under pipe stoppage",
+		"Coefficient of friction under pipe stoppage",
+	},
+	[3][]string{
+		{"paper: ~2.9e-3 at 100% coverage, 180-day attacks, 600 AUs; rises with coverage and duration"},
+		{"paper: attacks must last 60+ days to raise the delay ratio by an order of magnitude"},
+		{"paper: negligible for short attacks; up to ~10 for long ones"},
+	},
+)
+
+// FiguresPipeStoppage reproduces Figures 3-5 through the scenario registry.
 func FiguresPipeStoppage(o Options) ([]*Table, error) {
-	points, err := attackSweep(o, o.stoppageDurations(), o.coverages(),
-		func(cov float64, dur sim.Duration) adversary.Adversary {
-			return &adversary.PipeStoppage{Pulse: adversary.Pulse{
-				Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
-			}}
-		})
-	if err != nil {
-		return nil, err
-	}
-	tables := sweepTables(points,
-		[3]string{"Figure 3", "Figure 4", "Figure 5"},
-		[3]string{
-			"Access failure probability under pipe stoppage",
-			"Delay ratio under pipe stoppage",
-			"Coefficient of friction under pipe stoppage",
-		})
-	tables[0].Notes = append(tables[0].Notes,
-		"paper: ~2.9e-3 at 100% coverage, 180-day attacks, 600 AUs; rises with coverage and duration")
-	tables[1].Notes = append(tables[1].Notes,
-		"paper: attacks must last 60+ days to raise the delay ratio by an order of magnitude")
-	tables[2].Notes = append(tables[2].Notes,
-		"paper: negligible for short attacks; up to ~10 for long ones")
-	return tables, nil
+	return runRegistered(scenarioPipeStoppage.Name, o)
 }
 
-// --- Figures 6-8: admission-control flood sweep ----------------------------
+// scenarioAdmissionFlood reproduces Figures 6, 7 and 8: the admission-
+// control adversary's garbage invitations from unknown identities.
+var scenarioAdmissionFlood = attackSweepScenario(
+	"figures-admission-flood",
+	"Figures 6-8: access failure, delay ratio and friction under admission-control flood",
+	func(o Options) []float64 { return durationsToDays(o.floodDurations()) },
+	func(cov float64, dur sim.Duration) adversary.Adversary {
+		return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
+			Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
+		}}
+	},
+	[3]string{"Figure 6", "Figure 7", "Figure 8"},
+	[3]string{
+		"Access failure probability under admission-control attack",
+		"Delay ratio under admission-control attack",
+		"Coefficient of friction under admission-control attack",
+	},
+	[3][]string{
+		{"paper: little effect; up to ~5.9e-4 at full coverage for the whole run (600 AUs)"},
+		nil,
+		{"paper: sustained attacks can raise the cost per successful poll by ~33%"},
+	},
+)
 
-func (o Options) floodDurations() []sim.Duration {
-	switch o.Scale {
-	case ScalePaper:
-		return []sim.Duration{1 * sim.Day, 5 * sim.Day, 10 * sim.Day, 30 * sim.Day, 90 * sim.Day, 180 * sim.Day, 720 * sim.Day}
-	case ScaleSmall:
-		return []sim.Duration{5 * sim.Day, 30 * sim.Day, 180 * sim.Day, 720 * sim.Day}
-	default:
-		return []sim.Duration{10 * sim.Day, 90 * sim.Day, 360 * sim.Day}
-	}
-}
-
-// FiguresAdmissionFlood reproduces Figures 6, 7 and 8: the admission-control
-// adversary's garbage invitations from unknown identities.
+// FiguresAdmissionFlood reproduces Figures 6-8 through the scenario
+// registry.
 func FiguresAdmissionFlood(o Options) ([]*Table, error) {
-	points, err := attackSweep(o, o.floodDurations(), o.coverages(),
-		func(cov float64, dur sim.Duration) adversary.Adversary {
-			return &adversary.AdmissionFlood{Pulse: adversary.Pulse{
-				Coverage: cov, Duration: dur, Recuperation: 30 * sim.Day,
-			}}
-		})
-	if err != nil {
-		return nil, err
-	}
-	tables := sweepTables(points,
-		[3]string{"Figure 6", "Figure 7", "Figure 8"},
-		[3]string{
-			"Access failure probability under admission-control attack",
-			"Delay ratio under admission-control attack",
-			"Coefficient of friction under admission-control attack",
-		})
-	tables[0].Notes = append(tables[0].Notes,
-		"paper: little effect; up to ~5.9e-4 at full coverage for the whole run (600 AUs)")
-	tables[2].Notes = append(tables[2].Notes,
-		"paper: sustained attacks can raise the cost per successful poll by ~33%")
-	return tables, nil
+	return runRegistered(scenarioAdmissionFlood.Name, o)
 }
 
 // --- Table 1: brute-force defection strategies -----------------------------
 
-// Table1 reproduces the brute-force adversary defecting at INTRO, REMAINING
-// and NONE, for the small and layered large collections.
+// table1Defections orders the brute-force strategies as the paper's rows.
+var table1Defections = []adversary.Defection{
+	adversary.DefectIntro, adversary.DefectRemaining, adversary.DefectNone,
+}
+
+// scenarioTable1 reproduces the brute-force adversary defecting at INTRO,
+// REMAINING and NONE, for the small and layered large collections.
+var scenarioTable1 = mustRegister(&Scenario{
+	Name:        "table1",
+	Description: "Table 1: brute-force adversary defection strategies",
+	Axes: []Axis{
+		{
+			Name:   "defection",
+			Values: []float64{0, 1, 2},
+			Format: func(v float64) string { return table1Defections[int(v)].String() },
+		},
+		{Name: "collection", Values: []float64{0, 1}},
+	},
+	Attack: func(o Options, cfg world.Config, pt Point) adversary.Adversary {
+		return &adversary.BruteForce{Defection: table1Defections[int(pt.At(0))]}
+	},
+	SeedsAt:  layeredSeedsAt(func(o Options, pt Point) bool { return pt.At(1) != 0 }),
+	LayersAt: layeredLayersAt(func(o Options, pt Point) bool { return pt.At(1) != 0 }),
+	Compare:  true,
+	Tables: func(o Options, res *Result) []*Table {
+		t := &Table{
+			ID:    "Table 1",
+			Title: "Brute-force adversary defection strategies (continuous attack, all peers)",
+			Columns: []string{"defection", "collection", "coeff-friction", "cost-ratio",
+				"delay-ratio", "access-failure"},
+		}
+		for d := range table1Defections {
+			for c := 0; c < 2; c++ {
+				pr := res.At(d, c)
+				t.AddCells(Str(table1Defections[d].String()), Str(collectionLabel(o, c == 1)),
+					Ratio(pr.Cmp.Friction), Ratio(pr.Cmp.CostRatio),
+					Ratio(pr.Cmp.DelayRatio), Prob(pr.Stats.AccessFailure))
+			}
+		}
+		t.Notes = append(t.Notes,
+			"paper (50 AUs): INTRO 1.40/1.93/1.11/5.0e-4, REMAINING 2.61/1.55/1.11/5.9e-4, NONE 2.60/1.02/1.11/5.6e-4",
+			"shape: friction INTRO < REMAINING ~= NONE; access failure within ~1.3x of baseline for all strategies")
+		return []*Table{t}
+	},
+	Progress: func(o Options, pt Point, pr PointResult) string {
+		size := "small"
+		if pt.At(1) != 0 {
+			size = "large"
+		}
+		return fmt.Sprintf("table1 %v %s friction=%s cost=%s",
+			table1Defections[int(pt.At(0))], size,
+			fmtRatio(pr.Cmp.Friction), fmtRatio(pr.Cmp.CostRatio))
+	},
+})
+
+// Table1 reproduces the paper's Table 1 through the scenario registry.
 func Table1(o Options) (*Table, error) {
-	t := &Table{
-		ID:    "Table 1",
-		Title: "Brute-force adversary defection strategies (continuous attack, all peers)",
-		Columns: []string{"defection", "collection", "coeff-friction", "cost-ratio",
-			"delay-ratio", "access-failure"},
-	}
-	e := o.engine()
-	base := o.baseWorld()
-	layers := o.layersFor()
-	defections := []adversary.Defection{adversary.DefectIntro, adversary.DefectRemaining, adversary.DefectNone}
-	type pair struct{ small, large Comparison }
-	_, err := gather(len(defections), func(i int) (pair, error) {
-		d := defections[i]
-		mk := func() adversary.Adversary { return &adversary.BruteForce{Defection: d} }
-		// Attacks first; the two baselines are shared memoized runs (see
-		// attackSweep).
-		attack, err := e.RunAveraged(base, mk, o.seeds())
-		if err != nil {
-			return pair{}, err
-		}
-		large, err := e.RunLayeredAveraged(base, mk, layers, 1)
-		if err != nil {
-			return pair{}, err
-		}
-		baseline, err := e.RunAveraged(base, nil, o.seeds())
-		if err != nil {
-			return pair{}, err
-		}
-		largeBaseline, err := e.RunLayeredAveraged(base, nil, layers, 1)
-		if err != nil {
-			return pair{}, err
-		}
-		return pair{Compare(attack, baseline), Compare(large, largeBaseline)}, nil
-	}, func(i int, p pair) {
-		d := defections[i]
-		t.AddRow(d.String(), fmt.Sprintf("%d AUs", base.AUs), fmtRatio(p.small.Friction),
-			fmtRatio(p.small.CostRatio), fmtRatio(p.small.DelayRatio), fmtProb(p.small.Attack.AccessFailure))
-		o.progress("table1 %v small friction=%s cost=%s", d, fmtRatio(p.small.Friction), fmtRatio(p.small.CostRatio))
-		t.AddRow(d.String(), fmt.Sprintf("%d AUs (layered)", base.AUs*layers), fmtRatio(p.large.Friction),
-			fmtRatio(p.large.CostRatio), fmtRatio(p.large.DelayRatio), fmtProb(p.large.Attack.AccessFailure))
-		o.progress("table1 %v large friction=%s cost=%s", d, fmtRatio(p.large.Friction), fmtRatio(p.large.CostRatio))
-	})
-	if err != nil {
-		return nil, err
-	}
-	t.Notes = append(t.Notes,
-		"paper (50 AUs): INTRO 1.40/1.93/1.11/5.0e-4, REMAINING 2.61/1.55/1.11/5.9e-4, NONE 2.60/1.02/1.11/5.6e-4",
-		"shape: friction INTRO < REMAINING ~= NONE; access failure within ~1.3x of baseline for all strategies")
-	return t, nil
+	return oneTable(runRegistered(scenarioTable1.Name, o))
 }
 
 // --- Baseline helper shared by examples and tests ---------------------------
@@ -332,8 +424,13 @@ func Table1(o Options) (*Table, error) {
 // Baseline runs the no-attack scenario at the given options and returns its
 // stats.
 func Baseline(o Options) (RunStats, error) {
-	return o.engine().RunAveraged(o.baseWorld(), nil, o.seeds())
+	return o.engine().RunAveraged(context.Background(), o.baseWorld(), nil, o.seeds())
 }
 
 // WorldConfig exposes the scale's world configuration (for examples).
 func WorldConfig(o Options) world.Config { return o.baseWorld() }
+
+// fmtSeries formats a coverage fraction as the paper's series label.
+func fmtSeries(coverage float64) string {
+	return fmt.Sprintf("%.0f%%", coverage*100)
+}

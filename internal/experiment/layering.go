@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -164,12 +165,13 @@ func runOneLayer(cfg world.Config, mkAttack func() adversary.Adversary, layer in
 // RunLayered executes `layers` stacked runs of cfg, each carrying the
 // statistically replayed background load of the layers beneath it, and
 // aggregates. cfg.AUs is the per-layer collection size. Layers 1..n-1 run
-// concurrently on the process-wide worker pool.
-func RunLayered(cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
-	return newSharedEngine().RunLayered(cfg, mkAttack, layers)
+// concurrently on the process-wide worker pool. layers must be at least 1.
+func RunLayered(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
+	return newSharedEngine().RunLayered(ctx, cfg, mkAttack, layers)
 }
 
-// RunLayeredAveraged repeats RunLayered across seeds.
-func RunLayeredAveraged(cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
-	return newSharedEngine().RunLayeredAveraged(cfg, mkAttack, layers, seeds)
+// RunLayeredAveraged repeats RunLayered across seeds; both layers and seeds
+// must be at least 1.
+func RunLayeredAveraged(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
+	return newSharedEngine().RunLayeredAveraged(ctx, cfg, mkAttack, layers, seeds)
 }

@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,11 @@ import (
 // the same order as the serial loops they replace, and per-run seeds use the
 // same derivation, so output is bit-identical at any worker count.
 //
+// Every method takes a context.Context. Cancellation is cooperative at run
+// granularity: a leaf simulation cannot be interrupted once started, but
+// runs still queued behind the semaphore (and callers waiting on a memo
+// flight or a slot) return ctx.Err() promptly.
+//
 // Attack-free runs are memoized by (Config, layers): figures share their
 // baselines, so `-figure all` stops recomputing them. Attack runs are not
 // memoized — adversaries are constructed by closures, which have no identity
@@ -28,7 +35,9 @@ import (
 //
 // A failed run aborts the engine: runs still queued fail fast instead of
 // completing simulations whose results would be discarded. Discard the
-// engine after a failure; a fresh NewEngine costs nothing.
+// engine after a failure; a fresh NewEngine costs nothing. Context
+// cancellation does not abort the engine — it only abandons the canceled
+// call chain.
 type Engine struct {
 	workers int
 	sem     chan struct{}
@@ -101,14 +110,32 @@ func (e *Engine) MemoStats() (hits, misses uint64) {
 	return e.hits, e.misses
 }
 
+// errSeeds and errLayers build the descriptive guard errors for the public
+// entry points.
+func errSeeds(seeds int) error {
+	return fmt.Errorf("experiment: seeds must be at least 1, got %d", seeds)
+}
+
+func errLayers(layers int) error {
+	return fmt.Errorf("experiment: layers must be at least 1, got %d", layers)
+}
+
 // withSlot runs one leaf computation under a worker slot. Only leaf
 // simulation runs hold slots — orchestration layers (seed and point fan-out,
 // memo waits) block without one, so nesting cannot deadlock the pool. The
-// abort flag is re-checked after the slot is acquired, so runs that were
-// queued when an earlier run failed are skipped rather than executed.
-func (e *Engine) withSlot(fn func() error) error {
-	e.sem <- struct{}{}
+// abort flag and the context are re-checked after the slot is acquired, so
+// runs that were queued when an earlier run failed (or the caller canceled)
+// are skipped rather than executed.
+func (e *Engine) withSlot(ctx context.Context, fn func() error) error {
+	select {
+	case e.sem <- struct{}{}:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 	defer func() { <-e.sem }()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if e.aborted.Load() {
 		return errAborted
 	}
@@ -119,37 +146,64 @@ func (e *Engine) withSlot(fn func() error) error {
 	return nil
 }
 
+// skippedErr reports whether err marks a run that never executed (abort
+// fast-path or context cancellation) rather than a real failure.
+func skippedErr(err error) bool {
+	return errors.Is(err, errAborted) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // memoized returns the cached result for key, computing it single-flight on
-// first request. compute must not hold a worker slot on entry.
-func (e *Engine) memoized(key memoKey, compute func() (RunStats, error)) (RunStats, error) {
-	e.mu.Lock()
-	if ent, ok := e.memo[key]; ok {
-		e.hits++
+// first request. compute must not hold a worker slot on entry. Waiters
+// observing their own cancellation stop waiting; a flight that never
+// executed (the initiator's context was canceled, or the engine aborted
+// before it ran) is evicted and live waiters retry with a fresh flight
+// rather than inheriting the initiator's error.
+func (e *Engine) memoized(ctx context.Context, key memoKey, compute func() (RunStats, error)) (RunStats, error) {
+	for {
+		e.mu.Lock()
+		if ent, ok := e.memo[key]; ok {
+			e.hits++
+			e.mu.Unlock()
+			select {
+			case <-ent.done:
+				if skippedErr(ent.err) {
+					// The flight never executed; the initiator already
+					// evicted it. Retry unless this caller is canceled too.
+					if err := ctx.Err(); err != nil {
+						return RunStats{}, err
+					}
+					continue
+				}
+				return ent.stats, ent.err
+			case <-ctx.Done():
+				return RunStats{}, ctx.Err()
+			}
+		}
+		ent := &memoEntry{done: make(chan struct{})}
+		e.memo[key] = ent
+		e.misses++
 		e.mu.Unlock()
-		<-ent.done
+		ent.stats, ent.err = compute()
+		if skippedErr(ent.err) {
+			// The run never executed; don't let the sentinel shadow the root
+			// cause for future requests. Evict before waking waiters so
+			// their retry starts a fresh flight.
+			e.mu.Lock()
+			delete(e.memo, key)
+			e.mu.Unlock()
+		}
+		close(ent.done)
 		return ent.stats, ent.err
 	}
-	ent := &memoEntry{done: make(chan struct{})}
-	e.memo[key] = ent
-	e.misses++
-	e.mu.Unlock()
-	ent.stats, ent.err = compute()
-	if errors.Is(ent.err, errAborted) {
-		// The run never executed; don't let the sentinel shadow the root
-		// cause for future requests.
-		e.mu.Lock()
-		delete(e.memo, key)
-		e.mu.Unlock()
-	}
-	close(ent.done)
-	return ent.stats, ent.err
 }
 
 // RunOne executes a single seeded run under a worker slot, memoized when
 // attack-free.
-func (e *Engine) RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
+func (e *Engine) RunOne(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
+	ctx = orBackground(ctx)
 	run := func() (s RunStats, err error) {
-		err = e.withSlot(func() error {
+		err = e.withSlot(ctx, func() error {
 			var ferr error
 			s, ferr = RunOne(cfg, mkAttack)
 			return ferr
@@ -157,21 +211,22 @@ func (e *Engine) RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (
 		return s, err
 	}
 	if mkAttack == nil {
-		return e.memoized(memoKey{cfg, 1}, run)
+		return e.memoized(ctx, memoKey{cfg, 1}, run)
 	}
 	return run()
 }
 
 // RunAveraged executes seeds runs with consecutive derived seeds across the
 // pool and averages. The per-run seed derivation matches the serial path.
-func (e *Engine) RunAveraged(cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
-	if seeds <= 0 {
-		seeds = 1
+func (e *Engine) RunAveraged(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, seeds int) (RunStats, error) {
+	if seeds < 1 {
+		return RunStats{}, errSeeds(seeds)
 	}
+	ctx = orBackground(ctx)
 	runs, err := gather(seeds, func(s int) (RunStats, error) {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(s)*1_000_003
-		return e.RunOne(c, mkAttack)
+		return e.RunOne(ctx, c, mkAttack)
 	}, nil)
 	if err != nil {
 		return RunStats{}, err
@@ -182,17 +237,21 @@ func (e *Engine) RunAveraged(cfg world.Config, mkAttack func() adversary.Adversa
 // RunLayered executes a layered run: layer 0 first (it measures the
 // background load), then layers 1..n-1 concurrently, aggregated in layer
 // order. Memoized when attack-free.
-func (e *Engine) RunLayered(cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
-	if layers <= 1 {
-		return e.RunOne(cfg, mkAttack)
+func (e *Engine) RunLayered(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, layers int) (RunStats, error) {
+	if layers < 1 {
+		return RunStats{}, errLayers(layers)
+	}
+	ctx = orBackground(ctx)
+	if layers == 1 {
+		return e.RunOne(ctx, cfg, mkAttack)
 	}
 	compute := func() (RunStats, error) {
-		first, ratePerNs, meanDurNs, err := e.runLayer(cfg, mkAttack, 0, 0, 0)
+		first, ratePerNs, meanDurNs, err := e.runLayer(ctx, cfg, mkAttack, 0, 0, 0)
 		if err != nil {
 			return RunStats{}, err
 		}
 		rest, err := gather(layers-1, func(i int) (RunStats, error) {
-			s, _, _, err := e.runLayer(cfg, mkAttack, i+1, ratePerNs, meanDurNs)
+			s, _, _, err := e.runLayer(ctx, cfg, mkAttack, i+1, ratePerNs, meanDurNs)
 			return s, err
 		}, nil)
 		if err != nil {
@@ -201,16 +260,16 @@ func (e *Engine) RunLayered(cfg world.Config, mkAttack func() adversary.Adversar
 		return combineLayers(append([]RunStats{first}, rest...)), nil
 	}
 	if mkAttack == nil {
-		return e.memoized(memoKey{cfg, layers}, compute)
+		return e.memoized(ctx, memoKey{cfg, layers}, compute)
 	}
 	return compute()
 }
 
 // runLayer executes one layer's world under a worker slot; layer 0 also
 // measures the load replayed beneath later layers.
-func (e *Engine) runLayer(cfg world.Config, mkAttack func() adversary.Adversary, layer int,
+func (e *Engine) runLayer(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, layer int,
 	ratePerNs, meanDurNs float64) (s RunStats, rate, mean float64, err error) {
-	err = e.withSlot(func() error {
+	err = e.withSlot(ctx, func() error {
 		var ferr error
 		s, rate, mean, ferr = runOneLayer(cfg, mkAttack, layer, ratePerNs, meanDurNs)
 		return ferr
@@ -219,14 +278,18 @@ func (e *Engine) runLayer(cfg world.Config, mkAttack func() adversary.Adversary,
 }
 
 // RunLayeredAveraged repeats RunLayered across seeds, fanned across the pool.
-func (e *Engine) RunLayeredAveraged(cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
-	if seeds <= 0 {
-		seeds = 1
+func (e *Engine) RunLayeredAveraged(ctx context.Context, cfg world.Config, mkAttack func() adversary.Adversary, layers, seeds int) (RunStats, error) {
+	if seeds < 1 {
+		return RunStats{}, errSeeds(seeds)
 	}
+	if layers < 1 {
+		return RunStats{}, errLayers(layers)
+	}
+	ctx = orBackground(ctx)
 	runs, err := gather(seeds, func(s int) (RunStats, error) {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(s)*1_000_003
-		return e.RunLayered(c, mkAttack, layers)
+		return e.RunLayered(ctx, c, mkAttack, layers)
 	}, nil)
 	if err != nil {
 		return RunStats{}, err
@@ -234,37 +297,24 @@ func (e *Engine) RunLayeredAveraged(cfg world.Config, mkAttack func() adversary.
 	return average(runs), nil
 }
 
+// orBackground guards against nil contexts at the engine's public surface.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // errAborted marks jobs skipped because an earlier-completing job failed.
 var errAborted = errors.New("aborted after earlier failure")
-
-// compareSweep is the common shape of the ablation and extension studies:
-// n parameter settings, each yielding a (config, adversary) pair whose
-// baseline and attack runs are averaged over o.seeds() and compared. Jobs
-// fan across the engine; emit runs in strict index order.
-func compareSweep(o Options, n int, setting func(i int) (world.Config, func() adversary.Adversary),
-	emit func(i int, cmp Comparison)) error {
-	e := o.engine()
-	_, err := gather(n, func(i int) (Comparison, error) {
-		cfg, mkAttack := setting(i)
-		baseline, err := e.RunAveraged(cfg, nil, o.seeds())
-		if err != nil {
-			return Comparison{}, err
-		}
-		attack, err := e.RunAveraged(cfg, mkAttack, o.seeds())
-		if err != nil {
-			return Comparison{}, err
-		}
-		return Compare(attack, baseline), nil
-	}, emit)
-	return err
-}
 
 // gather evaluates n independent jobs concurrently and returns their results
 // in index order. done, if non-nil, is called in strict index order as each
 // prefix completes, so progress reporting and row emission keep the serial
 // order at any worker count. After any job fails, jobs that have not yet
 // started are skipped (in-flight simulations cannot be interrupted) and the
-// lowest-index real error is returned.
+// lowest-index real error is returned; context errors count as real, so a
+// canceled fan-out surfaces ctx.Err().
 func gather[T any](n int, run func(i int) (T, error), done func(i int, v T)) ([]T, error) {
 	if n == 1 {
 		v, err := run(0)

@@ -1,14 +1,19 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"lockss/internal/adversary"
 	"lockss/internal/sim"
 	"lockss/internal/world"
 )
+
+// ctx is the default context for engine calls in these tests.
+var ctx = context.Background()
 
 // runnerCfg is a deliberately small population so the runner tests can
 // afford many full simulation runs.
@@ -49,7 +54,7 @@ func TestEngineDeterminism(t *testing.T) {
 
 	for _, workers := range []int{1, 8} {
 		e := NewEngine(workers)
-		got, err := e.RunAveraged(cfg, nil, seeds)
+		got, err := e.RunAveraged(ctx, cfg, nil, seeds)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,22 +65,22 @@ func TestEngineDeterminism(t *testing.T) {
 
 	// Attack and layered runs: workers=1 vs workers=8 must agree exactly.
 	e1, e8 := NewEngine(1), NewEngine(8)
-	a1, err := e1.RunAveraged(cfg, runnerAttack, 2)
+	a1, err := e1.RunAveraged(ctx, cfg, runnerAttack, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a8, err := e8.RunAveraged(cfg, runnerAttack, 2)
+	a8, err := e8.RunAveraged(ctx, cfg, runnerAttack, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if a1 != a8 {
 		t.Errorf("attack RunAveraged differs across worker counts:\n w1 %+v\n w8 %+v", a1, a8)
 	}
-	l1, err := e1.RunLayeredAveraged(cfg, nil, 3, 2)
+	l1, err := e1.RunLayeredAveraged(ctx, cfg, nil, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l8, err := e8.RunLayeredAveraged(cfg, nil, 3, 2)
+	l8, err := e8.RunLayeredAveraged(ctx, cfg, nil, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,14 +95,14 @@ func TestEngineMemoization(t *testing.T) {
 	cfg := runnerCfg()
 	e := NewEngine(4)
 
-	first, err := e.RunAveraged(cfg, nil, 2)
+	first, err := e.RunAveraged(ctx, cfg, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := e.MemoStats(); hits != 0 || misses != 2 {
 		t.Errorf("after first averaged run: hits=%d misses=%d, want 0/2", hits, misses)
 	}
-	again, err := e.RunAveraged(cfg, nil, 2)
+	again, err := e.RunAveraged(ctx, cfg, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +114,7 @@ func TestEngineMemoization(t *testing.T) {
 	}
 
 	// Attack runs are not memoized (closures have no identity to key on).
-	if _, err := e.RunOne(cfg, runnerAttack); err != nil {
+	if _, err := e.RunOne(ctx, cfg, runnerAttack); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := e.MemoStats(); hits != 2 || misses != 2 {
@@ -117,10 +122,10 @@ func TestEngineMemoization(t *testing.T) {
 	}
 
 	// Layered baselines memoize at the composite granularity.
-	if _, err := e.RunLayered(cfg, nil, 2); err != nil {
+	if _, err := e.RunLayered(ctx, cfg, nil, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.RunLayered(cfg, nil, 2); err != nil {
+	if _, err := e.RunLayered(ctx, cfg, nil, 2); err != nil {
 		t.Fatal(err)
 	}
 	if hits, misses := e.MemoStats(); hits != 3 || misses != 3 {
@@ -135,10 +140,10 @@ func TestEngineAbort(t *testing.T) {
 	e := NewEngine(2)
 	bad := runnerCfg()
 	bad.Peers = 0 // world.New rejects this
-	if _, err := e.RunOne(bad, nil); err == nil {
+	if _, err := e.RunOne(ctx, bad, nil); err == nil {
 		t.Fatal("invalid config should fail")
 	}
-	if _, err := e.RunOne(runnerCfg(), nil); !errors.Is(err, errAborted) {
+	if _, err := e.RunOne(ctx, runnerCfg(), nil); !errors.Is(err, errAborted) {
 		t.Fatalf("run after failure: err = %v, want errAborted", err)
 	}
 	// A fan-out containing one bad config reports the real error, not the
@@ -146,10 +151,46 @@ func TestEngineAbort(t *testing.T) {
 	e2 := NewEngine(2)
 	cfgs := []world.Config{runnerCfg(), bad, runnerCfg()}
 	_, err := gather(len(cfgs), func(i int) (RunStats, error) {
-		return e2.RunOne(cfgs[i], nil)
+		return e2.RunOne(ctx, cfgs[i], nil)
 	}, nil)
 	if err == nil || errors.Is(err, errAborted) {
 		t.Fatalf("fan-out with bad config: err = %v, want the world.New error", err)
+	}
+}
+
+// TestMemoizedRetryAfterCanceledFlight asserts a waiter with a live
+// context does not inherit the cancellation of the flight initiator's
+// context: when the shared single-flight baseline never executed, live
+// waiters start a fresh flight instead of failing.
+func TestMemoizedRetryAfterCanceledFlight(t *testing.T) {
+	e := NewEngine(1)
+	key := memoKey{runnerCfg(), 1}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go e.memoized(ctx, key, func() (RunStats, error) {
+		close(started)
+		<-release
+		return RunStats{}, context.Canceled // the initiator's ctx was canceled
+	})
+	<-started
+	done := make(chan struct{})
+	var got RunStats
+	var err error
+	go func() {
+		defer close(done)
+		got, err = e.memoized(ctx, key, func() (RunStats, error) {
+			return RunStats{AccessFailure: 0.5}, nil
+		})
+	}()
+	// Let the waiter join the in-progress flight, then fail it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	<-done
+	if err != nil {
+		t.Fatalf("live waiter inherited the canceled flight: %v", err)
+	}
+	if got.AccessFailure != 0.5 {
+		t.Errorf("waiter got %+v, want the recomputed result", got)
 	}
 }
 

@@ -10,16 +10,19 @@
 // defense families (admission control with rate limits, first-hand
 // reputation and effort balancing; desynchronization; redundancy), a
 // deterministic discrete-event simulator with the paper's network and cost
-// models, the three adversary classes of the evaluation, and a harness that
-// regenerates every figure and table of §7.
+// models, the three adversary classes of the evaluation, and a declarative
+// scenario API: every figure and table of §7 is a registered Scenario, and
+// arbitrary new experiments — config mutators, attack factories, sweep axes
+// over any numeric parameter — register and run through the same engine,
+// with context cancellation and structured (text/JSON/CSV) results.
 //
-// This package is the public facade: simulations, attacks and experiment
-// generators re-exported in one place. Examples live under examples/, the
-// CLI under cmd/lockss-sim, and a real TCP-networked peer under
-// cmd/lockss-node.
+// This package is the public facade: simulations, attacks and the scenario
+// registry re-exported in one place. Examples live under examples/, the CLI
+// under cmd/lockss-sim, and a real TCP-networked peer under cmd/lockss-node.
 package lockss
 
 import (
+	"context"
 	"io"
 
 	"lockss/internal/adversary"
@@ -105,20 +108,23 @@ type Results = experiment.RunStats
 // metrics.
 type Comparison = experiment.Comparison
 
-// Run executes one simulation. attack may be nil for a baseline run.
-func Run(cfg Config, attack func() Adversary) (Results, error) {
-	return experiment.RunOne(cfg, attack)
+// Run executes one simulation on the process-wide worker pool. attack may
+// be nil for a baseline run. The context cancels queued work promptly;
+// in-flight simulation runs finish and are discarded.
+func Run(ctx context.Context, cfg Config, attack func() Adversary) (Results, error) {
+	return experiment.Run(ctx, cfg, attack)
 }
 
-// RunSeeds executes `seeds` runs with distinct seeds and averages.
-func RunSeeds(cfg Config, attack func() Adversary, seeds int) (Results, error) {
-	return experiment.RunAveraged(cfg, attack, seeds)
+// RunSeeds executes `seeds` runs with distinct seeds and averages; seeds
+// must be at least 1.
+func RunSeeds(ctx context.Context, cfg Config, attack func() Adversary, seeds int) (Results, error) {
+	return experiment.RunAveraged(ctx, cfg, attack, seeds)
 }
 
 // RunLayered stacks `layers` runs to model large collections (the paper's
-// 600-AU layering technique).
-func RunLayered(cfg Config, attack func() Adversary, layers int) (Results, error) {
-	return experiment.RunLayered(cfg, attack, layers)
+// 600-AU layering technique); layers must be at least 1.
+func RunLayered(ctx context.Context, cfg Config, attack func() Adversary, layers int) (Results, error) {
+	return experiment.RunLayered(ctx, cfg, attack, layers)
 }
 
 // Compare derives access failure, delay ratio, friction and cost ratio.
@@ -136,11 +142,63 @@ const (
 	ScalePaper = experiment.ScalePaper
 )
 
-// ExperimentOptions configures figure generation.
+// ExperimentOptions configures scenario generation.
 type ExperimentOptions = experiment.Options
 
-// Table is a printable reproduction of one paper figure or table.
+// Table is a renderable reproduction of one figure or table: typed cells
+// with aligned-text (Fprint), JSON (WriteJSON) and CSV (WriteCSV) output.
 type Table = experiment.Table
+
+// Cell is one typed table cell.
+type Cell = experiment.Cell
+
+// --- The declarative scenario API -------------------------------------------
+
+// Scenario declaratively specifies an experiment: base config, mutators,
+// attack factory, sweep axes, seeds, layers, and rendering.
+type Scenario = experiment.Scenario
+
+// Axis is one swept dimension of a scenario grid.
+type Axis = experiment.Axis
+
+// ConfigMutator adjusts a configuration in place.
+type ConfigMutator = experiment.ConfigMutator
+
+// Point identifies one cell of a scenario's sweep grid.
+type Point = experiment.Point
+
+// PointResult is the structured outcome of one grid cell.
+type PointResult = experiment.PointResult
+
+// ScenarioResult is a completed scenario run, one PointResult per cell.
+type ScenarioResult = experiment.Result
+
+// RegisterScenario adds a scenario to the process-wide registry.
+func RegisterScenario(s *Scenario) error { return experiment.Register(s) }
+
+// LookupScenario returns a registered scenario by name.
+func LookupScenario(name string) (*Scenario, bool) { return experiment.Lookup(name) }
+
+// Scenarios lists every registered scenario, sorted by name. The paper's
+// figures, Table 1, the ablations and the §9 extensions are pre-registered.
+func Scenarios() []*Scenario { return experiment.List() }
+
+// RunScenario executes a scenario's sweep grid across the worker-pool
+// engine and returns structured per-point results. The context cancels
+// queued points promptly.
+func RunScenario(ctx context.Context, s *Scenario, o ExperimentOptions) (*ScenarioResult, error) {
+	return experiment.RunScenario(ctx, s, o)
+}
+
+// RunScenarioTables executes a scenario and renders its tables.
+func RunScenarioTables(ctx context.Context, s *Scenario, o ExperimentOptions) ([]*Table, error) {
+	return s.Run(ctx, o)
+}
+
+// --- Legacy generator wrappers ----------------------------------------------
+//
+// Each wraps the registered scenario of the same artifact; output is
+// byte-identical to running the scenario directly.
 
 // Figure2 regenerates the baseline figure.
 func Figure2(o ExperimentOptions) (*Table, error) { return experiment.Figure2(o) }
@@ -180,7 +238,7 @@ func Ablations(o ExperimentOptions) ([]*Table, error) {
 }
 
 // Extensions regenerates the §9 future-work studies: dynamic populations
-// (churn) and adaptive acceptance.
+// (churn), adaptive acceptance, and combined adversaries.
 func Extensions(o ExperimentOptions) ([]*Table, error) {
 	var out []*Table
 	for _, gen := range []func(ExperimentOptions) (*Table, error){
