@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -108,12 +110,43 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "base seed offset")
 		workers  = flag.Int("workers", 0, "concurrent simulation runs (<=0 = GOMAXPROCS, i.e. all usable cores)")
 		verbose  = flag.Bool("v", false, "print per-data-point progress")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprof  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintf(os.Stderr, "lockss-sim: %v\n", err)
 		os.Exit(1)
+	}
+
+	// Profiling hooks, so perf work can profile real figure runs instead of
+	// reduced benchmark stand-ins. Inspect with `go tool pprof`.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		f, err := os.Create(*memprof)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			runtime.GC() // settle live objects so the heap profile is current
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "lockss-sim: writing memory profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {

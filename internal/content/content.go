@@ -21,7 +21,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"hash"
+	"slices"
 )
 
 // AUID identifies an archival unit (in the target application, a year's run
@@ -97,21 +98,42 @@ type Replica interface {
 	Damaged() bool
 }
 
-// voteHash computes the running-hash chain step: H(prev || nonce || block-id
-// || payload). Both replica implementations use it so their vote hashes are
-// interchangeable.
+// voteHasher chains a replica's block hashes through one digest. All the
+// buffers that cross the hash.Hash interface boundary (and would therefore
+// escape per call) live in this struct, so hashing a whole replica costs a
+// fixed handful of allocations instead of several per block.
+type voteHasher struct {
+	h    hash.Hash
+	hdr  [12]byte
+	prev Hash
+}
+
+func newVoteHasher() *voteHasher {
+	return &voteHasher{h: sha256.New()}
+}
+
+// step advances the running-hash chain: prev = H(prev || nonce || block-id
+// || payload), returning the new boundary hash.
+func (v *voteHasher) step(nonce []byte, au AUID, block int, payload []byte) Hash {
+	v.h.Reset()
+	v.h.Write(v.prev[:])
+	v.h.Write(nonce)
+	binary.BigEndian.PutUint32(v.hdr[0:4], uint32(au))
+	binary.BigEndian.PutUint64(v.hdr[4:12], uint64(block))
+	v.h.Write(v.hdr[:])
+	v.h.Write(payload)
+	v.h.Sum(v.prev[:0])
+	return v.prev
+}
+
+// voteHash computes one running-hash chain step: H(prev || nonce || block-id
+// || payload). Both replica implementations chain through voteHasher so
+// their vote hashes are interchangeable; this one-shot form serves tests and
+// spot checks.
 func voteHash(prev Hash, nonce []byte, au AUID, block int, payload []byte) Hash {
-	h := sha256.New()
-	h.Write(prev[:])
-	h.Write(nonce)
-	var hdr [12]byte
-	binary.BigEndian.PutUint32(hdr[0:4], uint32(au))
-	binary.BigEndian.PutUint64(hdr[4:12], uint64(block))
-	h.Write(hdr[:])
-	h.Write(payload)
-	var out Hash
-	copy(out[:], h.Sum(nil))
-	return out
+	v := newVoteHasher()
+	v.prev = prev
+	return v.step(nonce, au, block, payload)
 }
 
 // correctPayload derives the publisher's canonical content token for a
@@ -135,6 +157,14 @@ func damagedPayload(au AUID, block int, mark Mark) []byte {
 	return b[:]
 }
 
+// isCorrectPayload reports whether data is the publisher's canonical token
+// for the block, without materializing the token.
+func isCorrectPayload(data []byte, au AUID, block int) bool {
+	return len(data) == 13 && data[0] == 'C' &&
+		binary.BigEndian.Uint32(data[1:5]) == uint32(au) &&
+		binary.BigEndian.Uint64(data[5:13]) == uint64(block)
+}
+
 // SimReplica is the symbolic replica used at simulation scale.
 type SimReplica struct {
 	spec AUSpec
@@ -143,6 +173,13 @@ type SimReplica struct {
 	damaged map[int]Mark
 	// events counts local damage events to derive fresh marks.
 	events uint32
+	// gen counts mutations (damage and repair), so callers can key caches of
+	// derived data on the replica's damage state.
+	gen uint64
+	// snap caches the sorted damage snapshot between mutations. The cached
+	// slice may be shared by votes still in flight, so mutations drop it and
+	// the next Snapshot builds a fresh slice instead of editing in place.
+	snap []DamageEntry
 }
 
 // NewSimReplica returns a correct (undamaged) symbolic replica. The salt
@@ -163,26 +200,53 @@ func (r *SimReplica) payload(i int) []byte {
 	return correctPayload(r.spec.ID, i)
 }
 
+// appendPayload is payload into a caller-reused buffer.
+func (r *SimReplica) appendPayload(dst []byte, i int) []byte {
+	if m, ok := r.damaged[i]; ok {
+		dst = append(dst, 'X')
+		dst = binary.BigEndian.AppendUint32(dst, uint32(r.spec.ID))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(i))
+		return binary.BigEndian.AppendUint64(dst, uint64(m))
+	}
+	dst = append(dst, 'C')
+	dst = binary.BigEndian.AppendUint32(dst, uint32(r.spec.ID))
+	return binary.BigEndian.AppendUint64(dst, uint64(i))
+}
+
 // VoteHashes implements Replica.
 func (r *SimReplica) VoteHashes(nonce []byte) []Hash {
 	n := r.spec.Blocks()
 	out := make([]Hash, n)
-	var prev Hash
+	v := newVoteHasher()
+	var pbuf [21]byte
 	for i := 0; i < n; i++ {
-		prev = voteHash(prev, nonce, r.spec.ID, i, r.payload(i))
-		out[i] = prev
+		out[i] = v.step(nonce, r.spec.ID, i, r.appendPayload(pbuf[:0], i))
 	}
 	return out
 }
 
-// Snapshot implements Replica.
+// Snapshot implements Replica. The returned slice is cached until the next
+// mutation and shared between callers; treat it as read-only.
 func (r *SimReplica) Snapshot() []DamageEntry {
-	out := make([]DamageEntry, 0, len(r.damaged))
-	for i, m := range r.damaged {
-		out = append(out, DamageEntry{Block: i, Mark: m})
+	if r.snap == nil {
+		out := make([]DamageEntry, 0, len(r.damaged))
+		for i, m := range r.damaged {
+			out = append(out, DamageEntry{Block: i, Mark: m})
+		}
+		slices.SortFunc(out, func(a, b DamageEntry) int { return a.Block - b.Block })
+		r.snap = out
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Block < out[b].Block })
-	return out
+	return r.snap
+}
+
+// Generation returns a counter that changes on every mutation, for keying
+// caches of data derived from the damage state.
+func (r *SimReplica) Generation() uint64 { return r.gen }
+
+// mutated invalidates snapshot caches after a damage-state change.
+func (r *SimReplica) mutated() {
+	r.gen++
+	r.snap = nil
 }
 
 // freshMark derives a new replica-unique damage mark.
@@ -202,6 +266,7 @@ func (r *SimReplica) Damage(i int) bool {
 		return false
 	}
 	r.damaged[i] = r.freshMark()
+	r.mutated()
 	return true
 }
 
@@ -225,12 +290,14 @@ func (r *SimReplica) ApplyRepair(i int, data []byte) error {
 	if i < 0 || i >= r.spec.Blocks() {
 		return fmt.Errorf("content: repair block %d out of range for %v", i, r.spec)
 	}
-	if string(data) == string(correctPayload(r.spec.ID, i)) {
+	if isCorrectPayload(data, r.spec.ID, i) {
 		delete(r.damaged, i)
+		r.mutated()
 		return nil
 	}
 	if len(data) == 21 && data[0] == 'X' {
 		r.damaged[i] = Mark(binary.BigEndian.Uint64(data[13:21]))
+		r.mutated()
 		return nil
 	}
 	return fmt.Errorf("content: malformed symbolic repair payload for block %d", i)
@@ -312,10 +379,9 @@ func (r *RealReplica) canonicalBlock(i int) []byte {
 func (r *RealReplica) VoteHashes(nonce []byte) []Hash {
 	n := r.spec.Blocks()
 	out := make([]Hash, n)
-	var prev Hash
+	v := newVoteHasher()
 	for i := 0; i < n; i++ {
-		prev = voteHash(prev, nonce, r.spec.ID, i, r.block(i))
-		out[i] = prev
+		out[i] = v.step(nonce, r.spec.ID, i, r.block(i))
 	}
 	return out
 }
@@ -326,7 +392,7 @@ func (r *RealReplica) Snapshot() []DamageEntry {
 	for i, m := range r.damaged {
 		out = append(out, DamageEntry{Block: i, Mark: m})
 	}
-	sort.Slice(out, func(a, b int) bool { return out[a].Block < out[b].Block })
+	slices.SortFunc(out, func(a, b DamageEntry) int { return a.Block - b.Block })
 	return out
 }
 

@@ -37,16 +37,32 @@ func (p SimProof) Valid([]byte) bool { return p.Genuine }
 // it in the EvaluationReceipt message (§5.1, "wasteful" attacks).
 type Receipt [20]byte
 
-// simReceipt derives the deterministic receipt for a simulated proof bound
-// to a context. Both sides of a simulated exchange can derive it, which
-// models "the poller performed the necessary effort" without simulating the
-// MBF bit-for-bit.
+// simReceiptPrefix is the domain-separation tag plus the 8-byte effort field
+// that precede the context in a simulated receipt's hash input.
+const simReceiptPrefix = "lockss/sim-receipt"
+
+// SimReceiptFor derives the deterministic receipt for a simulated proof
+// bound to a context. Both sides of a simulated exchange can derive it,
+// which models "the poller performed the necessary effort" without
+// simulating the MBF bit-for-bit.
+//
+// The hash input is assembled in a stack buffer and digested with
+// sha256.Sum256 so the hot path (one receipt per proof generated and one per
+// vote evaluated) does not allocate; protocol contexts are ~24 bytes, far
+// inside the buffer. The rare oversized context takes the allocating path
+// with identical output bytes.
 func SimReceiptFor(context []byte, effort Seconds) Receipt {
+	var in [128]byte
+	n := copy(in[:], simReceiptPrefix)
+	binary.BigEndian.PutUint64(in[n:], uint64(float64(effort)*1e6))
+	n += 8
+	if len(context) <= len(in)-n {
+		n += copy(in[n:], context)
+		sum := sha256.Sum256(in[:n])
+		return Receipt(sum[:20])
+	}
 	h := sha256.New()
-	h.Write([]byte("lockss/sim-receipt"))
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(float64(effort)*1e6))
-	h.Write(buf[:])
+	h.Write(in[:n])
 	h.Write(context)
 	var r Receipt
 	copy(r[:], h.Sum(nil))

@@ -23,12 +23,19 @@ import (
 
 // bgLoad deterministically synthesizes background busy intervals. It is
 // pure: the tasks for a bucket depend only on (seed, bucket index), so
-// repeated schedule queries see a consistent timeline.
+// repeated schedule queries see a consistent timeline — which also makes the
+// buckets memoizable. Schedule checks hit the same handful of buckets over
+// and over as simulated time advances, so each bucket is generated once and
+// queries assemble their window from the cache through a reused scratch
+// slice (the schedule copies it before sorting).
 type bgLoad struct {
 	seed      uint64
 	ratePerNs float64 // expected task arrivals per nanosecond
 	meanDurNs float64
 	bucket    int64 // bucket width in nanoseconds
+
+	cache   map[int64][]sched.Task
+	scratch []sched.Task
 }
 
 // poisson draws a Poisson variate with mean lambda (Knuth's method; lambda
@@ -52,31 +59,52 @@ func poisson(rnd *prng.Source, lambda float64) int {
 	}
 }
 
+// bucketTasks generates (or recalls) bucket k's tasks, sorted by start. The
+// draws are identical to generating them inside a query, so memoization is
+// invisible to replay.
+func (b *bgLoad) bucketTasks(k int64) []sched.Task {
+	if ts, ok := b.cache[k]; ok {
+		return ts
+	}
+	rnd := prng.New(b.seed ^ uint64(k)*0x9e3779b97f4a7c15)
+	n := poisson(rnd, b.ratePerNs*float64(b.bucket))
+	var ts []sched.Task
+	for i := 0; i < n; i++ {
+		start := sched.Time(k*b.bucket + rnd.Int63n(b.bucket))
+		dur := rnd.ExpFloat64(b.meanDurNs)
+		if dur < 1 {
+			dur = 1
+		}
+		ts = append(ts, sched.Task{Start: start, End: start + sched.Time(dur), Label: "bg"})
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Start < ts[j].Start })
+	if b.cache == nil {
+		b.cache = make(map[int64][]sched.Task)
+	}
+	b.cache[k] = ts
+	return ts
+}
+
 // Tasks implements the sched.Schedule Background contract for [from, to).
+// Buckets ascend and each bucket is start-sorted, so the concatenation is
+// sorted without a per-query sort. The result aliases b's scratch; the
+// schedule consumes it within the query.
 func (b *bgLoad) Tasks(from, to sched.Time) []sched.Task {
 	if b.ratePerNs <= 0 || to <= from {
 		return nil
 	}
-	var out []sched.Task
+	out := b.scratch[:0]
 	first := int64(from) / b.bucket
 	last := int64(to-1) / b.bucket
 	for k := first; k <= last; k++ {
-		rnd := prng.New(b.seed ^ uint64(k)*0x9e3779b97f4a7c15)
-		n := poisson(rnd, b.ratePerNs*float64(b.bucket))
-		for i := 0; i < n; i++ {
-			start := sched.Time(k*b.bucket + rnd.Int63n(b.bucket))
-			dur := rnd.ExpFloat64(b.meanDurNs)
-			if dur < 1 {
-				dur = 1
-			}
-			end := start + sched.Time(dur)
-			if end <= from || start >= to {
+		for _, t := range b.bucketTasks(k) {
+			if t.End <= from || t.Start >= to {
 				continue
 			}
-			out = append(out, sched.Task{Start: start, End: end, Label: "bg"})
+			out = append(out, t)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	b.scratch = out
 	return out
 }
 

@@ -64,6 +64,29 @@ func renderTables(ts []*Table) []byte {
 	return buf.Bytes()
 }
 
+// checkGolden diffs got against the golden file at path, rewriting it first
+// when -update is set, and returns the golden bytes.
+func checkGolden(t *testing.T, path string, got []byte) []byte {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output diverges from golden %s (run with -update to inspect):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+	return want
+}
+
 // TestScenarioGolden asserts every built-in scenario's tiny-scale output is
 // byte-for-byte what the legacy generators produced (recorded in testdata),
 // both through the registry path and through the legacy wrappers.
@@ -87,24 +110,7 @@ func TestScenarioGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			got := renderTables(tables)
-
-			path := filepath.Join("testdata", "golden", name+".golden")
-			if *updateGolden {
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, got, 0o644); err != nil {
-					t.Fatal(err)
-				}
-			}
-			want, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !bytes.Equal(got, want) {
-				t.Errorf("scenario %q output diverges from golden (run with -update to inspect):\n--- got ---\n%s\n--- want ---\n%s",
-					name, got, want)
-			}
+			want := checkGolden(t, filepath.Join("testdata", "golden", name+".golden"), got)
 
 			// The legacy wrapper must emit the same bytes.
 			if wrapper, ok := legacyWrappers[name]; ok {
@@ -118,6 +124,30 @@ func TestScenarioGolden(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestScenarioGoldenSmall widens the capture-and-diff net beyond ScaleTiny:
+// one registered scenario is pinned byte-for-byte at ScaleSmall, where the
+// larger population, longer horizon and multi-seed averaging exercise
+// aggregation and float-accumulation paths the tiny goldens cannot reach.
+// Together with TestScenarioGolden this is the safety harness for hot-path
+// optimization work: any change to seed derivation, RNG consumption order,
+// accumulation order or formatting shows up as a byte diff.
+// Regenerate with `go test -run TestScenarioGoldenSmall -update`.
+func TestScenarioGoldenSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a ScaleSmall scenario (tens of seconds)")
+	}
+	const name = "ablation-introductions"
+	spec, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	tables, err := spec.Run(context.Background(), Options{Scale: ScaleSmall, Engine: NewEngine(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "golden", name+"@small.golden"), renderTables(tables))
 }
 
 // TestRegistryBuiltins asserts every shipped artifact is registered and
@@ -247,27 +277,38 @@ func TestRunScenarioCancel(t *testing.T) {
 		t.Errorf("pre-canceled RunScenario took %v", d)
 	}
 
-	// Cancel after the first point completes: the remaining queued points
-	// must be skipped rather than simulated.
+	// Cancel mid-sweep: point 0 cancels the context from inside its
+	// executor (deterministic, unlike waiting for a wall-clock race — the
+	// optimized engine can drain a 64-point tiny sweep faster than an
+	// external cancel lands), so the remaining queued points must be
+	// skipped rather than simulated and the sweep must surface ctx.Err().
 	ctx2, cancel2 := context.WithCancel(context.Background())
 	defer cancel2()
-	var once atomic.Bool
-	o := Options{
-		Scale:  ScaleTiny,
-		Engine: NewEngine(1),
-		Progress: func(format string, args ...any) {
-			if once.CompareAndSwap(false, true) {
+	var ran atomic.Int32
+	cancelSpec := &Scenario{
+		Name: "cancel-test-mid",
+		Base: scenarioTestConfig,
+		Axes: spec.Axes,
+		RunPoint: func(ctx context.Context, e *Engine, o Options, cfg world.Config, pt Point) (PointResult, error) {
+			if pt.Index == 0 {
 				cancel2()
+				return PointResult{}, ctx.Err()
 			}
+			ran.Add(1)
+			stats, err := e.RunOne(ctx, cfg, nil)
+			return PointResult{Stats: stats}, err
 		},
 	}
 	start = time.Now()
-	_, err = RunScenario(ctx2, spec, o)
+	_, err = RunScenario(ctx2, cancelSpec, Options{Scale: ScaleTiny, Engine: NewEngine(1)})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-sweep cancel: err = %v, want context.Canceled", err)
 	}
 	if d := time.Since(start); d > 30*time.Second {
 		t.Errorf("canceled RunScenario took %v; queued points were not skipped", d)
+	}
+	if n := ran.Load(); n >= 63 {
+		t.Errorf("all %d later points simulated despite cancellation", n)
 	}
 }
 

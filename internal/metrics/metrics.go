@@ -53,11 +53,21 @@ type Collector struct {
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
+	return NewCollectorSized(0)
+}
+
+// NewCollectorSized returns an empty collector with its accumulator maps
+// preallocated for the expected replica count (peers × AUs), so population
+// registration and steady-state tracking do not grow maps incrementally.
+func NewCollectorSized(replicas int) *Collector {
+	if replicas < 0 {
+		replicas = 0
+	}
 	return &Collector{
-		replicas:    make(map[replicaKey]content.Replica),
-		damaged:     make(map[replicaKey]bool),
-		lastSuccess: make(map[replicaKey]sched.Time),
-		Polls:       make(map[protocol.Outcome]uint64),
+		replicas:    make(map[replicaKey]content.Replica, replicas),
+		damaged:     make(map[replicaKey]bool, replicas),
+		lastSuccess: make(map[replicaKey]sched.Time, replicas),
+		Polls:       make(map[protocol.Outcome]uint64, 4),
 	}
 }
 

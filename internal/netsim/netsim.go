@@ -51,10 +51,42 @@ type node struct {
 	stopped bool
 }
 
+// delivery is one in-flight message. Records are pooled on the Network: a
+// run delivers millions of messages but only a bounded number are in flight
+// at once, so each carries a pre-bound run callback instead of a fresh
+// closure per Send.
+type delivery struct {
+	n        *Network
+	from     ids.PeerID
+	src, dst *node
+	payload  any
+	size     int
+	run      func() // bound to (*delivery).deliver once, when first allocated
+}
+
+// deliver completes the transfer and recycles the record. The record is
+// recycled before the handler runs (all fields are copied out first), so a
+// handler that sends in response reuses it immediately.
+func (d *delivery) deliver() {
+	n, from, src, dst, payload, size := d.n, d.from, d.src, d.dst, d.payload, d.size
+	d.src, d.dst, d.payload = nil, nil, nil
+	n.free = append(n.free, d)
+	// Re-check at delivery: an attack that started mid-flight kills the
+	// message, matching the paper's "suppresses all communication".
+	if src.stopped || dst.stopped {
+		n.DroppedStoppage++
+		return
+	}
+	n.Delivered++
+	n.BytesDelivered += uint64(size)
+	dst.handler(from, payload, size)
+}
+
 // Network routes messages between simulated nodes over the event engine.
 type Network struct {
 	eng   *sim.Engine
 	nodes map[ids.PeerID]*node
+	free  []*delivery
 
 	// Stats.
 	Sent      uint64
@@ -67,7 +99,16 @@ type Network struct {
 
 // New returns an empty network bound to the engine.
 func New(eng *sim.Engine) *Network {
-	return &Network{eng: eng, nodes: make(map[ids.PeerID]*node)}
+	return NewSized(eng, 0)
+}
+
+// NewSized returns an empty network with the node table preallocated for the
+// expected population size.
+func NewSized(eng *sim.Engine, nodes int) *Network {
+	if nodes < 0 {
+		nodes = 0
+	}
+	return &Network{eng: eng, nodes: make(map[ids.PeerID]*node, nodes)}
 }
 
 // AddNode registers a node. Registering an existing ID panics: IDs are
@@ -135,17 +176,17 @@ func (n *Network) Send(from, to ids.PeerID, payload any, size int) {
 		return
 	}
 	delay := n.TransferTime(from, to, size)
-	n.eng.After(delay, func() {
-		// Re-check at delivery: an attack that started mid-flight kills the
-		// message, matching the paper's "suppresses all communication".
-		if src.stopped || dst.stopped {
-			n.DroppedStoppage++
-			return
-		}
-		n.Delivered++
-		n.BytesDelivered += uint64(size)
-		dst.handler(from, payload, size)
-	})
+	var d *delivery
+	if k := len(n.free); k > 0 {
+		d = n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
+	} else {
+		d = &delivery{n: n}
+		d.run = d.deliver
+	}
+	d.from, d.src, d.dst, d.payload, d.size = from, src, dst, payload, size
+	n.eng.After(delay, d.run)
 }
 
 // NodeIDs returns all registered node IDs in unspecified order.

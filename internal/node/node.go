@@ -68,6 +68,15 @@ type Node struct {
 	// all tracks every live session (inbound and outbound) so Stop can
 	// unblock their read loops.
 	all map[*session.Conn]struct{}
+
+	// timers maps protocol timer IDs to their wall-clock timers so the
+	// protocol can cancel by ID; fired and cancelled entries are removed.
+	timers   map[protocol.TimerID]*time.Timer
+	timerSeq uint64
+
+	// addrs is the node's own copy of the address book, guarded by mu so
+	// operators can bind addresses (SetAddress) after peers have started.
+	addrs map[ids.PeerID]string
 }
 
 // New builds a node. AddAU must be called before Start.
@@ -82,13 +91,18 @@ func New(cfg Config) (*Node, error) {
 		cfg.MBF = effort.DefaultMBFParams()
 	}
 	n := &Node{
-		cfg:   cfg,
-		mbf:   effort.NewMBF(cfg.MBF),
-		rnd:   prng.New(cfg.Seed ^ uint64(cfg.ID)*0x9e3779b97f4a7c15),
-		loop:  make(chan func(), 1024),
-		stop:  make(chan struct{}),
-		conns: make(map[ids.PeerID]*session.Conn),
-		all:   make(map[*session.Conn]struct{}),
+		cfg:    cfg,
+		mbf:    effort.NewMBF(cfg.MBF),
+		rnd:    prng.New(cfg.Seed ^ uint64(cfg.ID)*0x9e3779b97f4a7c15),
+		loop:   make(chan func(), 1024),
+		stop:   make(chan struct{}),
+		conns:  make(map[ids.PeerID]*session.Conn),
+		all:    make(map[*session.Conn]struct{}),
+		timers: make(map[protocol.TimerID]*time.Timer),
+		addrs:  make(map[ids.PeerID]string, len(cfg.AddressBook)),
+	}
+	for id, addr := range cfg.AddressBook {
+		n.addrs[id] = addr
 	}
 	p, err := protocol.New(cfg.ID, cfg.Protocol, cfg.Costs, (*env)(n), cfg.Observer)
 	if err != nil {
@@ -108,6 +122,33 @@ func (n *Node) AddAU(replica content.Replica, refs []ids.PeerID) error {
 
 // SetFriends installs the operator's friends list.
 func (n *Node) SetFriends(friends []ids.PeerID) { n.peer.SetFriends(friends) }
+
+// SetAddress binds (or rebinds) a peer's dial address. Safe while the node
+// is running — clusters that bind ephemeral listen ports fill the book
+// after every member has started.
+func (n *Node) SetAddress(peer ids.PeerID, addr string) {
+	n.mu.Lock()
+	n.addrs[peer] = addr
+	n.mu.Unlock()
+}
+
+// Inspect runs fn on the actor loop and waits for it, giving callers
+// race-free access to the peer's state machines and replicas while the node
+// runs. It returns false (without running fn) once the node is stopped.
+func (n *Node) Inspect(fn func(p *protocol.Peer)) bool {
+	done := make(chan struct{})
+	select {
+	case n.loop <- func() { fn(n.peer); close(done) }:
+	case <-n.stop:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
 
 // logf logs when configured.
 func (n *Node) logf(format string, args ...any) {
@@ -258,7 +299,9 @@ func (n *Node) connTo(to ids.PeerID) (*session.Conn, error) {
 		return c, nil
 	}
 	n.mu.Unlock()
-	addr, ok := n.cfg.AddressBook[to]
+	n.mu.Lock()
+	addr, ok := n.addrs[to]
+	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("node: no address for %v", to)
 	}
@@ -293,14 +336,20 @@ func (n *Node) connTo(to ids.PeerID) (*session.Conn, error) {
 	return conn, nil
 }
 
+// encodeBufs recycles wire-encoding scratch across concurrent sendMsg calls.
+var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // sendMsg delivers one message asynchronously; failures are silent, like
 // the network (the protocol's timeouts and retries own reliability).
 func (n *Node) sendMsg(to ids.PeerID, m *protocol.Msg) {
-	data, err := wire.Encode(m)
+	bufp := encodeBufs.Get().(*[]byte)
+	defer func() { *bufp = (*bufp)[:0]; encodeBufs.Put(bufp) }()
+	data, err := wire.AppendEncode((*bufp)[:0], m)
 	if err != nil {
 		n.logf("encode %v: %v", m.Type, err)
 		return
 	}
+	*bufp = data
 	conn, err := n.connTo(to)
 	if err != nil {
 		n.logf("dial %v: %v", to, err)
@@ -328,14 +377,45 @@ type env Node
 // clock skew through its generous timeouts).
 func (e *env) Now() sched.Time { return sched.Time(time.Now().UnixNano()) }
 
-// After implements protocol.Env.
-func (e *env) After(d sched.Duration, fn func()) func() {
+// After implements protocol.Env. The liveness check runs inside the posted
+// closure — on the actor loop, the same goroutine that calls Cancel — so a
+// timer whose AfterFunc fired concurrently with its cancellation is still
+// suppressed. The protocol's record pooling relies on a cancelled timer
+// never reaching its callback.
+func (e *env) After(d sched.Duration, fn func()) protocol.TimerID {
 	n := (*Node)(e)
 	if d < 0 {
 		d = 0
 	}
-	t := time.AfterFunc(time.Duration(d), func() { n.post(fn) })
-	return func() { t.Stop() }
+	n.mu.Lock()
+	n.timerSeq++
+	id := protocol.TimerID(n.timerSeq)
+	n.timers[id] = time.AfterFunc(time.Duration(d), func() {
+		n.post(func() {
+			n.mu.Lock()
+			_, live := n.timers[id]
+			delete(n.timers, id)
+			n.mu.Unlock()
+			if live {
+				fn()
+			}
+		})
+	})
+	n.mu.Unlock()
+	return id
+}
+
+// Cancel implements protocol.Env.
+func (e *env) Cancel(id protocol.TimerID) bool {
+	n := (*Node)(e)
+	n.mu.Lock()
+	t, ok := n.timers[id]
+	delete(n.timers, id)
+	n.mu.Unlock()
+	if ok {
+		t.Stop() // best-effort; the loop-side liveness check is authoritative
+	}
+	return ok
 }
 
 // Rand implements protocol.Env.

@@ -145,11 +145,18 @@ func TestClusterAuditAndRepair(t *testing.T) {
 		}
 	}
 
-	for i, n := range nodes {
+	for _, n := range nodes {
 		if err := n.Start(); err != nil {
 			t.Fatal(err)
 		}
-		book[ids.PeerID(i+1)] = n.Addr().String()
+	}
+	// Ephemeral ports are known only now; bind them through the race-safe
+	// setter rather than mutating the shared book under running nodes.
+	for i, n := range nodes {
+		addr := n.Addr().String()
+		for _, m := range nodes {
+			m.SetAddress(ids.PeerID(i+1), addr)
+		}
 	}
 	defer func() {
 		for _, n := range nodes {
@@ -160,11 +167,18 @@ func TestClusterAuditAndRepair(t *testing.T) {
 	deadline := time.After(30 * time.Second)
 	tick := time.NewTicker(250 * time.Millisecond)
 	defer tick.Stop()
+	// Replicas belong to their node's actor loop once started; Inspect
+	// gives the test race-free reads.
+	damaged0 := func() bool {
+		var d bool
+		nodes[0].Inspect(func(p *protocol.Peer) { d = p.Replica(spec.ID).Damaged() })
+		return d
+	}
 	for {
 		select {
 		case <-tick.C:
 			succ, _, _ := obs.snapshot()
-			if !replicas[0].Damaged() && succ >= N {
+			if !damaged0() && succ >= N {
 				succ, other, repairs := obs.snapshot()
 				t.Logf("repaired; polls ok=%d other=%d repairs=%d", succ, other, repairs)
 				return
@@ -172,7 +186,7 @@ func TestClusterAuditAndRepair(t *testing.T) {
 		case <-deadline:
 			succ, other, repairs := obs.snapshot()
 			t.Fatalf("cluster did not repair in time: damaged=%v polls ok=%d other=%d repairs=%d",
-				replicas[0].Damaged(), succ, other, repairs)
+				damaged0(), succ, other, repairs)
 		}
 	}
 }

@@ -18,6 +18,10 @@ import (
 // sharing one Source across goroutines.
 type Source struct {
 	s [4]uint64
+	// scratch is the reusable index map behind SampleInto's partial
+	// Fisher–Yates; it never influences the output, only avoids a per-call
+	// allocation.
+	scratch map[int]int
 }
 
 // splitmix64 advances a 64-bit state and returns the next output. It is used
@@ -172,24 +176,46 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 // Sample returns k distinct values drawn uniformly from [0, n) in random
 // order. If k >= n it returns a full permutation.
 func (r *Source) Sample(n, k int) []int {
+	return r.SampleInto(nil, n, k)
+}
+
+// SampleInto is Sample reusing dst's backing array when it has capacity. The
+// random draws are identical to Sample's, so the two are interchangeable
+// without perturbing the stream.
+func (r *Source) SampleInto(dst []int, n, k int) []int {
 	if k >= n {
-		return r.Perm(n)
+		if cap(dst) < n {
+			dst = make([]int, n)
+		}
+		dst = dst[:n]
+		for i := range dst {
+			dst[i] = i
+		}
+		r.ShuffleInts(dst)
+		return dst
 	}
 	// Partial Fisher–Yates over a scratch index map: O(k) space.
-	scratch := make(map[int]int, k*2)
+	if r.scratch == nil {
+		r.scratch = make(map[int]int, k*2)
+	}
+	scratch := r.scratch
 	get := func(i int) int {
 		if v, ok := scratch[i]; ok {
 			return v
 		}
 		return i
 	}
-	out := make([]int, k)
+	if cap(dst) < k {
+		dst = make([]int, k)
+	}
+	dst = dst[:k]
 	for i := 0; i < k; i++ {
 		j := i + r.Intn(n-i)
-		out[i] = get(j)
+		dst[i] = get(j)
 		scratch[j] = get(i)
 	}
-	return out
+	clear(scratch)
+	return dst
 }
 
 // Jitter returns d multiplied by a uniform factor in [1-frac, 1+frac].

@@ -8,6 +8,12 @@ import (
 	"lockss/internal/sched"
 )
 
+// TimerID identifies a timer armed through Env.After so it can be cancelled
+// without allocating a closure per timer (the protocol arms one or more
+// timers per message on the hot path). The zero TimerID is never issued, so
+// it doubles as "no timer pending".
+type TimerID uint64
+
 // Env supplies a Peer with time, timers, randomness, transport and effort
 // primitives. The discrete-event simulator and the real networked node each
 // provide an implementation; the protocol state machines are identical under
@@ -15,9 +21,12 @@ import (
 type Env interface {
 	// Now returns the current time on the environment's clock.
 	Now() sched.Time
-	// After schedules fn once, d from now, returning a cancel function.
-	// Cancel is idempotent and safe after firing.
-	After(d sched.Duration, fn func()) (cancel func())
+	// After schedules fn once, d from now, returning the timer's ID.
+	After(d sched.Duration, fn func()) TimerID
+	// Cancel stops a pending timer. Cancelling the zero TimerID, or a timer
+	// that already fired or was already cancelled, is a no-op returning
+	// false.
+	Cancel(t TimerID) bool
 	// Rand returns the peer's deterministic randomness stream.
 	Rand() *prng.Source
 	// Send transmits a message to another peer. Delivery is best-effort and

@@ -31,9 +31,12 @@ func newFakeEnv(seed uint64) *fakeEnv {
 
 func (e *fakeEnv) Now() sched.Time { return sched.Time(e.eng.Now()) }
 
-func (e *fakeEnv) After(d sched.Duration, fn func()) func() {
-	id := e.eng.After(d, fn)
-	return func() { e.eng.Cancel(id) }
+func (e *fakeEnv) After(d sched.Duration, fn func()) TimerID {
+	return TimerID(e.eng.After(d, fn))
+}
+
+func (e *fakeEnv) Cancel(t TimerID) bool {
+	return e.eng.Cancel(sim.EventID(t))
 }
 
 func (e *fakeEnv) Rand() *prng.Source { return e.rnd }

@@ -25,13 +25,18 @@ func (p *Peer) startEvaluation(st *auState, poll *pollState) {
 	}
 	dur := sched.Duration(float64(st.pollEffort.EvalHash.Duration()) * float64(votes))
 	grace := sched.Time(float64(p.cfg.PollInterval) * 0.15)
-	_, start, ok := p.sch.ReserveSlot(p.env.Now(), dur, poll.deadline+grace, "eval "+st.spec.Name)
+	_, start, ok := p.sch.ReserveSlot(p.env.Now(), dur, poll.deadline+grace, st.evalLabel)
 	if !ok {
 		// Hopelessly overloaded: the poll cannot be evaluated in time.
 		p.concludePoll(st, poll, OutcomeInquorate)
 		return
 	}
-	p.env.After(sched.Duration(start-p.env.Now())+dur, func() {
+	// The run timer must be tracked on the poll: if the conclude guard fires
+	// before the reserved slot completes (possible on short first-poll
+	// windows, where deadline+grace can exceed the guard), the recycled poll
+	// record must not receive a stale evaluation.
+	poll.evalRunTimer = p.env.After(sched.Duration(start-p.env.Now())+dur, func() {
+		poll.evalRunTimer = 0
 		p.runEvaluation(st, poll)
 	})
 }
@@ -39,7 +44,7 @@ func (p *Peer) startEvaluation(st *auState, poll *pollState) {
 // refVoteFor computes the poller's own vote data under a solicitation's
 // nonce (what the voter's hashes should be if its replica agreed).
 func (p *Peer) refVoteFor(st *auState, sol *solicitation) VoteData {
-	return VoteDataOf(st.replica, sol.nonce[:])
+	return p.ownVoteData(st, sol.nonce[:])
 }
 
 // recomputeDisagreements refreshes every unexcluded vote's first point of
@@ -70,8 +75,8 @@ func (p *Peer) runEvaluation(st *auState, poll *pollState) {
 		// receipt byproduct from the vote's effort proof.
 		p.charge(KindEval, st.pollEffort.EvalHash)
 		if p.cfg.EffortBalancing && sol.voteProof != nil {
-			ctx := PollContext(p.id, v, st.spec.ID, poll.id, "vote")
-			if r, ok := p.env.EvalReceipt(ctx, sol.voteProof); ok {
+			p.ctxScratch = AppendPollContext(p.ctxScratch[:0], p.id, v, st.spec.ID, poll.id, "vote")
+			if r, ok := p.env.EvalReceipt(p.ctxScratch, sol.voteProof); ok {
 				sol.receipt = r
 			}
 		}
@@ -155,13 +160,14 @@ func (p *Peer) requestRepair(st *auState, poll *pollState, block int) {
 			poll.sols[v].tried = false
 		}
 	}
-	var candidates []ids.PeerID
+	candidates := p.candScratch[:0]
 	for _, v := range poll.order {
 		sol := poll.sols[v]
 		if sol.state == solGotVote && !sol.excluded && !sol.outer && sol.dis == block && !sol.tried {
 			candidates = append(candidates, v)
 		}
 	}
+	p.candScratch = candidates
 	if len(candidates) == 0 || poll.repairAttempts >= p.cfg.MaxRepairAttempts {
 		p.concludePoll(st, poll, OutcomeRepairFailed)
 		return
@@ -178,7 +184,7 @@ func (p *Peer) requestRepair(st *auState, poll *pollState, block int) {
 		Block:  int32(block),
 	})
 	poll.repairTimer = p.env.After(p.cfg.RepairTimeout, func() {
-		poll.repairTimer = nil
+		poll.repairTimer = 0
 		// Supplier unresponsive: voters owe repairs once committed.
 		st.rep.Penalize(repTime(p.env.Now()), target)
 		p.requestRepair(st, poll, block)
@@ -196,11 +202,10 @@ func (p *Peer) pollerHandleRepair(st *auState, from ids.PeerID, m *Msg) {
 	if !ok || sol.state != solGotVote {
 		return
 	}
-	if poll.repairTimer == nil {
+	if poll.repairTimer == 0 {
 		return // no repair outstanding
 	}
-	poll.repairTimer()
-	poll.repairTimer = nil
+	p.stopTimer(&poll.repairTimer)
 
 	// Re-hash the repaired block and re-evaluate.
 	p.charge(KindRepair, p.costs.HashCost(st.spec.BlockSize))
@@ -227,13 +232,14 @@ func (p *Peer) finishEvaluation(st *auState, poll *pollState) {
 		poll.frivolousDone = true
 		// Pick a fully agreeing inner voter and a random block: its content
 		// there provably matches ours, so applying the repair is a no-op.
-		var candidates []ids.PeerID
+		candidates := p.candScratch[:0]
 		for _, v := range poll.order {
 			sol := poll.sols[v]
 			if sol.state == solGotVote && !sol.excluded && !sol.outer && sol.dis < 0 {
 				candidates = append(candidates, v)
 			}
 		}
+		p.candScratch = candidates
 		if len(candidates) > 0 {
 			target := candidates[p.env.Rand().Intn(len(candidates))]
 			block := p.env.Rand().Intn(st.spec.Blocks())
@@ -246,7 +252,7 @@ func (p *Peer) finishEvaluation(st *auState, poll *pollState) {
 				Block:  int32(block),
 			})
 			poll.repairTimer = p.env.After(p.cfg.RepairTimeout, func() {
-				poll.repairTimer = nil
+				poll.repairTimer = 0
 				st.rep.Penalize(repTime(p.env.Now()), target)
 				p.sendReceiptsAndConclude(st, poll)
 			})

@@ -185,16 +185,23 @@ func (m *Msg) Context(phase string) []byte {
 
 // PollContext builds the canonical effort-binding context.
 func PollContext(poller, voter ids.PeerID, au content.AUID, pollID uint64, phase string) []byte {
-	b := make([]byte, 0, 24+len(phase))
+	return AppendPollContext(make([]byte, 0, 20+len(phase)), poller, voter, au, pollID, phase)
+}
+
+// AppendPollContext appends the canonical effort-binding context to dst and
+// returns the extended slice. The hot path reuses a per-peer scratch buffer
+// through it; contexts are consumed synchronously by the effort primitives
+// and never retained.
+func AppendPollContext(dst []byte, poller, voter ids.PeerID, au content.AUID, pollID uint64, phase string) []byte {
 	var tmp [8]byte
 	binary.BigEndian.PutUint32(tmp[:4], uint32(poller))
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], uint32(voter))
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], uint32(au))
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint64(tmp[:], pollID)
-	b = append(b, tmp[:8]...)
-	b = append(b, phase...)
-	return b
+	dst = append(dst, tmp[:8]...)
+	dst = append(dst, phase...)
+	return dst
 }

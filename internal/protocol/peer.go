@@ -2,7 +2,7 @@ package protocol
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"lockss/internal/content"
 	"lockss/internal/effort"
@@ -60,6 +60,20 @@ type auState struct {
 	sessions   map[sessionKey]*voterSession
 	pollEffort effort.PollEffort
 
+	// voteLabel and evalLabel are the schedule-reservation labels, built
+	// once so the hot path does not concatenate strings per invitation.
+	voteLabel string
+	evalLabel string
+
+	// ownVote caches the symbolic vote data derived from this peer's
+	// replica, keyed on the replica's damage generation. Symbolic votes do
+	// not depend on the poll nonce, so one boxed value serves every vote and
+	// reference comparison until the replica mutates; the underlying
+	// snapshot slice is immutable once built, so sharing it across in-flight
+	// messages is safe.
+	ownVote    VoteData
+	ownVoteGen uint64
+
 	// Self-clocked consideration rate limit (token bucket).
 	considerTokens float64
 	considerAt     sched.Time
@@ -86,6 +100,24 @@ type Peer struct {
 	pollSeq uint32
 	stats   PeerStats
 	started bool
+
+	// Reusable hot-path scratch. A Peer is single-threaded, and none of
+	// these escape a single protocol callback: ctxScratch backs effort
+	// contexts (consumed synchronously by Env), poolScratch/idxScratch back
+	// reference-list sampling, candScratch backs repair-candidate and
+	// reference-list-churn selection.
+	ctxScratch     []byte
+	poolScratch    []ids.PeerID
+	idxScratch     []int
+	candScratch    []ids.PeerID
+	inviteeScratch []ids.PeerID
+
+	// Freelists for per-poll state machines: polls, their solicitations and
+	// voter sessions churn constantly but only a bounded number are live at
+	// once on one peer.
+	freePolls    []*pollState
+	freeSols     []*solicitation
+	freeSessions []*voterSession
 }
 
 // New constructs a peer. The observer may be nil.
@@ -175,6 +207,8 @@ func (p *Peer) AddAU(replica content.Replica, refList []ids.PeerID) error {
 		refList:    make(map[ids.PeerID]bool),
 		sessions:   make(map[sessionKey]*voterSession),
 		pollEffort: p.costs.PollEffortFor(spec.Size, spec.Blocks()),
+		voteLabel:  "vote " + spec.Name,
+		evalLabel:  "eval " + spec.Name,
 		considerAt: -1,
 		// considerTokens starts full.
 		considerTokens: p.cfg.ConsiderBurst,
@@ -313,28 +347,47 @@ func (p *Peer) send(to ids.PeerID, m *Msg) {
 // sortPeers orders peer IDs ascending; pools derived from map iteration
 // must be sorted before random sampling to keep runs deterministic.
 func sortPeers(s []ids.PeerID) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
+}
+
+// msgContext derives m's effort-binding context for a protocol phase into
+// the peer's reusable scratch buffer. The result is only valid until the
+// next msgContext call on this peer; Env's effort primitives consume it
+// synchronously.
+func (p *Peer) msgContext(m *Msg, phase string) []byte {
+	p.ctxScratch = AppendPollContext(p.ctxScratch[:0], m.Poller, m.Voter, m.AU, m.PollID, phase)
+	return p.ctxScratch
 }
 
 // sampleRefList draws up to n distinct reference-list members, excluding
-// the exclude set.
-func (p *Peer) sampleRefList(st *auState, n int, exclude map[ids.PeerID]bool) []ids.PeerID {
-	pool := make([]ids.PeerID, 0, len(st.refList))
+// the given peer (ids.NoPeer excludes nobody). The returned slice is freshly
+// allocated (callers retain it across messages); the candidate pool behind
+// the draw is scratch. sampleRefListInto is the non-retaining variant.
+func (p *Peer) sampleRefList(st *auState, n int, exclude ids.PeerID) []ids.PeerID {
+	return p.sampleRefListInto(nil, st, n, exclude)
+}
+
+// sampleRefListInto is sampleRefList appending into dst's backing array; use
+// it when the result is consumed before the next call on this peer.
+func (p *Peer) sampleRefListInto(dst []ids.PeerID, st *auState, n int, exclude ids.PeerID) []ids.PeerID {
+	pool := p.poolScratch[:0]
 	for id := range st.refList {
-		if id == p.id || (exclude != nil && exclude[id]) {
+		if id == p.id || id == exclude {
 			continue
 		}
 		pool = append(pool, id)
 	}
+	p.poolScratch = pool
 	sortPeers(pool)
 	if n >= len(pool) {
 		p.env.Rand().Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-		return pool
+		return append(dst[:0], pool...)
 	}
-	idx := p.env.Rand().Sample(len(pool), n)
-	out := make([]ids.PeerID, n)
-	for i, j := range idx {
-		out[i] = pool[j]
+	idx := p.env.Rand().SampleInto(p.idxScratch, len(pool), n)
+	p.idxScratch = idx
+	dst = dst[:0]
+	for _, j := range idx {
+		dst = append(dst, pool[j])
 	}
-	return out
+	return dst
 }

@@ -27,7 +27,7 @@ type solicitation struct {
 	attempts int
 	nonce    Nonce
 	voteBy   sched.Time
-	cancel   func() // pending timer, if any
+	timer    TimerID // pending timer, if any
 
 	vote      VoteData
 	voteProof effort.Proof
@@ -54,23 +54,71 @@ type pollState struct {
 	// Repair state during evaluation.
 	repairBlock    int
 	repairAttempts int
-	repairTimer    func()
+	repairTimer    TimerID
 	frivolousDone  bool
 
-	guard func() // conclude-guard timer cancel
+	// Poll-lifecycle timers, cancelled at conclusion. evalTimer launches
+	// startEvaluation; evalRunTimer fires when the reserved evaluation slot
+	// completes.
+	outerTimer   TimerID
+	evalTimer    TimerID
+	evalRunTimer TimerID
+	guardTimer   TimerID
+}
+
+// newPollState draws a zeroed poll record from the freelist, keeping its
+// cleared maps and order slice.
+func (p *Peer) newPollState() *pollState {
+	if k := len(p.freePolls); k > 0 {
+		poll := p.freePolls[k-1]
+		p.freePolls[k-1] = nil
+		p.freePolls = p.freePolls[:k-1]
+		return poll
+	}
+	return &pollState{
+		sols: make(map[ids.PeerID]*solicitation),
+		noms: make(map[ids.PeerID]bool),
+	}
+}
+
+// releasePoll recycles a concluded poll and its solicitations. All the
+// poll's timers were cancelled at conclusion, so no live closure can still
+// reach the recycled records.
+func (p *Peer) releasePoll(poll *pollState) {
+	for _, v := range poll.order {
+		sol := poll.sols[v]
+		*sol = solicitation{}
+		p.freeSols = append(p.freeSols, sol)
+	}
+	clear(poll.sols)
+	clear(poll.noms)
+	sols, noms, order := poll.sols, poll.noms, poll.order[:0]
+	*poll = pollState{sols: sols, noms: noms, order: order}
+	p.freePolls = append(p.freePolls, poll)
+}
+
+// newSolicitation draws a solicitation record from the freelist.
+func (p *Peer) newSolicitation(peer ids.PeerID, outer bool) *solicitation {
+	var sol *solicitation
+	if k := len(p.freeSols); k > 0 {
+		sol = p.freeSols[k-1]
+		p.freeSols[k-1] = nil
+		p.freeSols = p.freeSols[:k-1]
+	} else {
+		sol = &solicitation{}
+	}
+	sol.peer, sol.outer, sol.dis = peer, outer, -1
+	return sol
 }
 
 // startPoll begins a new poll on the AU, to conclude at deadline.
 func (p *Peer) startPoll(st *auState, deadline sched.Time) {
 	p.gcSchedule()
 	p.pollSeq++
-	poll := &pollState{
-		id:       uint64(p.id)<<32 | uint64(p.pollSeq),
-		started:  p.env.Now(),
-		deadline: deadline,
-		sols:     make(map[ids.PeerID]*solicitation),
-		noms:     make(map[ids.PeerID]bool),
-	}
+	poll := p.newPollState()
+	poll.id = uint64(p.id)<<32 | uint64(p.pollSeq)
+	poll.started = p.env.Now()
+	poll.deadline = deadline
 	st.poll = poll
 	window := sched.Duration(deadline - poll.started)
 	if window <= 0 {
@@ -82,10 +130,12 @@ func (p *Peer) startPoll(st *auState, deadline sched.Time) {
 	// solicitation phase. With desynchronization disabled (ablation), all
 	// invitations fire at once and votes are due within a single narrow
 	// window, recreating the synchronous-rendezvous weakness of §5.2.
-	invitees := p.sampleRefList(st, p.cfg.InnerCircle, nil)
+	// Invitees are consumed within this call, so they draw into scratch.
+	invitees := p.sampleRefListInto(p.inviteeScratch, st, p.cfg.InnerCircle, ids.NoPeer)
+	p.inviteeScratch = invitees
 	solicitSpan := float64(window) * p.cfg.SolicitFrac
 	for _, v := range invitees {
-		sol := &solicitation{peer: v, dis: -1}
+		sol := p.newSolicitation(v, false)
 		poll.sols[v] = sol
 		poll.order = append(poll.order, v)
 		var at sched.Duration
@@ -97,24 +147,32 @@ func (p *Peer) startPoll(st *auState, deadline sched.Time) {
 
 	// Outer-circle launch.
 	outerDelay := sched.Duration(float64(window) * p.cfg.OuterStartFrac)
-	cancelOuter := p.env.After(outerDelay, func() { p.launchOuterCircle(st, poll) })
+	poll.outerTimer = p.env.After(outerDelay, func() { p.launchOuterCircle(st, poll) })
 
 	// Evaluation launch.
 	evalDelay := sched.Duration(float64(window) * p.cfg.EvalFrac)
-	cancelEval := p.env.After(evalDelay, func() { p.startEvaluation(st, poll) })
+	poll.evalTimer = p.env.After(evalDelay, func() { p.startEvaluation(st, poll) })
 
 	// Conclude guard: whatever happens, the poll ends and the next begins.
 	grace := sched.Duration(float64(window) * 0.25)
-	cancelGuard := p.env.After(sched.Duration(poll.deadline-poll.started)+grace, func() {
+	poll.guardTimer = p.env.After(sched.Duration(poll.deadline-poll.started)+grace, func() {
 		p.concludePoll(st, poll, OutcomeInquorate)
 	})
-	poll.guard = func() { cancelOuter(); cancelEval(); cancelGuard() }
+}
+
+// stopTimer cancels a pending env timer and zeroes it. Safe on the zero ID
+// and on timers that already fired.
+func (p *Peer) stopTimer(t *TimerID) {
+	if *t != 0 {
+		p.env.Cancel(*t)
+		*t = 0
+	}
 }
 
 // scheduleSolicitation arms a timer to send the Poll message after delay.
 func (p *Peer) scheduleSolicitation(st *auState, poll *pollState, sol *solicitation, delay sched.Duration) {
 	sol.state = solUnsent
-	sol.cancel = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
+	sol.timer = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
 }
 
 // sendPollInvitation generates the introductory effort and sends Poll.
@@ -149,7 +207,7 @@ func (p *Peer) sendPollInvitation(st *auState, poll *pollState, sol *solicitatio
 	p.charge(KindSession, p.costs.SessionSetup)
 	if p.cfg.EffortBalancing {
 		intro := st.pollEffort.Intro
-		proof, _ := p.env.MakeProof(m.Context("intro"), intro)
+		proof, _ := p.env.MakeProof(p.msgContext(m, "intro"), intro)
 		m.Proof = proof
 		p.charge(KindIntroGen, intro)
 	}
@@ -158,7 +216,7 @@ func (p *Peer) sendPollInvitation(st *auState, poll *pollState, sol *solicitatio
 
 	// Ack timeout: silent drops (admission control, pipe stoppage) look
 	// identical to losses; retry later in the solicitation phase.
-	sol.cancel = p.env.After(p.cfg.AckTimeout, func() {
+	sol.timer = p.env.After(p.cfg.AckTimeout, func() {
 		p.stats.AcksTimedOut++
 		p.retrySolicitation(st, poll, sol)
 	})
@@ -180,7 +238,7 @@ func (p *Peer) retrySolicitation(st *auState, poll *pollState, sol *solicitation
 	sol.state = solRetryWait
 	span := float64(retryBy - now)
 	delay := sched.Duration(p.env.Rand().Float64() * span)
-	sol.cancel = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
+	sol.timer = p.env.After(delay, func() { p.sendPollInvitation(st, poll, sol) })
 }
 
 // pollerHandleAck processes a PollAck.
@@ -193,10 +251,7 @@ func (p *Peer) pollerHandleAck(st *auState, from ids.PeerID, m *Msg) {
 	if !ok || sol.state != solAwaitAck {
 		return
 	}
-	if sol.cancel != nil {
-		sol.cancel()
-		sol.cancel = nil
-	}
+	p.stopTimer(&sol.timer)
 	if !m.Accept {
 		p.retrySolicitation(st, poll, sol)
 		return
@@ -229,7 +284,7 @@ func (p *Peer) pollerHandleAck(st *auState, from ids.PeerID, m *Msg) {
 		}
 		if p.cfg.EffortBalancing {
 			rem := st.pollEffort.Remainder
-			proof, _ := p.env.MakeProof(pm.Context("remainder"), rem)
+			proof, _ := p.env.MakeProof(p.msgContext(pm, "remainder"), rem)
 			pm.Proof = proof
 			p.charge(KindRemainderGen, rem)
 		}
@@ -238,7 +293,7 @@ func (p *Peer) pollerHandleAck(st *auState, from ids.PeerID, m *Msg) {
 		// Vote timeout: the voter committed; failure to deliver is
 		// penalized.
 		wait := sched.Duration(sol.voteBy-p.env.Now()) + p.cfg.VoteSlack
-		sol.cancel = p.env.After(wait, func() {
+		sol.timer = p.env.After(wait, func() {
 			if sol.state == solAwaitVote {
 				sol.state = solFailed
 				p.stats.VotesTimedOut++
@@ -260,7 +315,7 @@ func (p *Peer) pollerHandleAck(st *auState, from ids.PeerID, m *Msg) {
 		return
 	}
 	_ = id
-	sol.cancel = p.env.After(sched.Duration(start-p.env.Now())+genDur, sendProof)
+	sol.timer = p.env.After(sched.Duration(start-p.env.Now())+genDur, sendProof)
 }
 
 // pollerHandleVote processes an incoming Vote.
@@ -273,10 +328,7 @@ func (p *Peer) pollerHandleVote(st *auState, from ids.PeerID, m *Msg) {
 	if !ok || sol.state != solAwaitVote {
 		return
 	}
-	if sol.cancel != nil {
-		sol.cancel()
-		sol.cancel = nil
-	}
+	p.stopTimer(&sol.timer)
 	if m.Vote == nil || m.Vote.Blocks() != st.spec.Blocks() {
 		sol.state = solFailed
 		st.rep.Penalize(repTime(p.env.Now()), from)
@@ -285,7 +337,7 @@ func (p *Peer) pollerHandleVote(st *auState, from ids.PeerID, m *Msg) {
 	if p.cfg.EffortBalancing {
 		// Verify the vote's effort proof (covers one block hash).
 		p.charge(KindVerify, p.costs.VerifyCost(st.pollEffort.VoteProof))
-		if !p.env.VerifyProof(m.Context("vote"), m.Proof, st.pollEffort.VoteProof) {
+		if !p.env.VerifyProof(p.msgContext(m, "vote"), m.Proof, st.pollEffort.VoteProof) {
 			p.stats.BadProofs++
 			sol.state = solFailed
 			st.rep.Penalize(repTime(p.env.Now()), from)
@@ -319,7 +371,7 @@ func (p *Peer) launchOuterCircle(st *auState, poll *pollState) {
 		return
 	}
 	poll.outerSent = true
-	pool := make([]ids.PeerID, 0, len(poll.noms))
+	pool := p.poolScratch[:0]
 	for id := range poll.noms {
 		if id == p.id || st.refList[id] {
 			continue
@@ -329,17 +381,20 @@ func (p *Peer) launchOuterCircle(st *auState, poll *pollState) {
 		}
 		pool = append(pool, id)
 	}
+	p.poolScratch = pool
 	sortPeers(pool)
 	n := p.cfg.OuterCircle
 	var chosen []ids.PeerID
 	if n >= len(pool) {
 		chosen = pool
 	} else {
-		idx := p.env.Rand().Sample(len(pool), n)
-		chosen = make([]ids.PeerID, n)
-		for i, j := range idx {
-			chosen[i] = pool[j]
+		idx := p.env.Rand().SampleInto(p.idxScratch, len(pool), n)
+		p.idxScratch = idx
+		chosen = p.candScratch[:0]
+		for _, j := range idx {
+			chosen = append(chosen, pool[j])
 		}
+		p.candScratch = chosen
 	}
 	window := sched.Duration(poll.deadline - poll.started)
 	start := poll.started + sched.Time(float64(window)*p.cfg.OuterStartFrac)
@@ -347,7 +402,7 @@ func (p *Peer) launchOuterCircle(st *auState, poll *pollState) {
 	span := float64(end - start)
 	now := p.env.Now()
 	for _, v := range chosen {
-		sol := &solicitation{peer: v, outer: true, dis: -1}
+		sol := p.newSolicitation(v, true)
 		poll.sols[v] = sol
 		poll.order = append(poll.order, v)
 		var at sched.Duration
@@ -369,20 +424,14 @@ func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
 		return
 	}
 	poll.concluded = true
-	if poll.guard != nil {
-		poll.guard()
-	}
+	p.stopTimer(&poll.outerTimer)
+	p.stopTimer(&poll.evalTimer)
+	p.stopTimer(&poll.evalRunTimer)
+	p.stopTimer(&poll.guardTimer)
 	for _, v := range poll.order {
-		sol := poll.sols[v]
-		if sol.cancel != nil {
-			sol.cancel()
-			sol.cancel = nil
-		}
+		p.stopTimer(&poll.sols[v].timer)
 	}
-	if poll.repairTimer != nil {
-		poll.repairTimer()
-		poll.repairTimer = nil
-	}
+	p.stopTimer(&poll.repairTimer)
 	now := p.env.Now()
 	switch outcome {
 	case OutcomeSuccess:
@@ -419,6 +468,7 @@ func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
 		nextDeadline = now + sched.Time(p.cfg.PollInterval)
 	}
 	st.poll = nil
+	p.releasePoll(poll)
 	p.startPoll(st, nextDeadline)
 }
 
@@ -446,7 +496,9 @@ func (p *Peer) updateReferenceList(st *auState, poll *pollState) {
 	// Replenish toward the target from friends, then re-admit tallied
 	// voters if the population is too small to refill otherwise.
 	if len(st.refList) < p.cfg.RefListTarget {
-		perm := p.env.Rand().Perm(len(p.friends))
+		// SampleInto with k == n is a full permutation with Perm's draws.
+		perm := p.env.Rand().SampleInto(p.idxScratch, len(p.friends), len(p.friends))
+		p.idxScratch = perm
 		for _, i := range perm {
 			if len(st.refList) >= p.cfg.RefListTarget {
 				break
@@ -470,10 +522,11 @@ func (p *Peer) updateReferenceList(st *auState, poll *pollState) {
 	}
 	// Trim above the maximum, dropping random members.
 	if len(st.refList) > p.cfg.RefListMax {
-		members := make([]ids.PeerID, 0, len(st.refList))
+		members := p.candScratch[:0]
 		for id := range st.refList {
 			members = append(members, id)
 		}
+		p.candScratch = members
 		sortPeers(members)
 		for len(st.refList) > p.cfg.RefListMax {
 			i := p.env.Rand().Intn(len(members))

@@ -36,6 +36,22 @@ func VoteDataOf(r content.Replica, nonce []byte) VoteData {
 	return HashVote{Hashes: r.VoteHashes(nonce)}
 }
 
+// ownVoteData is VoteDataOf for the peer's own replica of st, memoized on
+// the replica's damage generation for the symbolic representation (which is
+// nonce-independent). Votes are compared and encoded read-only, so reusing
+// one boxed value is indistinguishable from rebuilding it.
+func (p *Peer) ownVoteData(st *auState, nonce []byte) VoteData {
+	sr, ok := st.replica.(*content.SimReplica)
+	if !ok {
+		return VoteDataOf(st.replica, nonce)
+	}
+	if st.ownVote == nil || st.ownVoteGen != sr.Generation() {
+		st.ownVote = SimVote{NumBlocks: sr.Spec().Blocks(), Dam: sr.Snapshot()}
+		st.ownVoteGen = sr.Generation()
+	}
+	return st.ownVote
+}
+
 // HashVote is the literal vote body: one running hash per block boundary.
 type HashVote struct {
 	Hashes []content.Hash

@@ -28,7 +28,7 @@ type voterSession struct {
 	pollDeadline sched.Time
 	nonce        Nonce
 	myReceipt    effort.Receipt
-	cancel       func()
+	timer        TimerID
 	repairs      int
 }
 
@@ -103,25 +103,12 @@ func (p *Peer) voterHandlePoll(st *auState, from ids.PeerID, m *Msg) {
 	p.charge(KindSession, p.costs.SessionSetup)
 	p.charge(KindConsider, p.costs.ScheduleCheck)
 
-	refuse := func(r RefuseReason) {
-		p.stats.InvitesRefused++
-		p.send(from, &Msg{
-			Type:   MsgPollAck,
-			AU:     st.spec.ID,
-			PollID: m.PollID,
-			Poller: from,
-			Voter:  p.id,
-			Accept: false,
-			Refuse: r,
-		})
-	}
-
 	if p.cfg.EffortBalancing {
 		p.charge(KindVerify, p.costs.VerifyCost(st.pollEffort.Intro))
-		if !p.env.VerifyProof(m.Context("intro"), m.Proof, st.pollEffort.Intro) {
+		if !p.env.VerifyProof(p.msgContext(m, "intro"), m.Proof, st.pollEffort.Intro) {
 			p.stats.BadProofs++
 			st.rep.Penalize(now, from)
-			refuse(RefuseBadEffort)
+			p.refuseInvite(st, from, m.PollID, RefuseBadEffort)
 			return
 		}
 	}
@@ -131,13 +118,21 @@ func (p *Peer) voterHandlePoll(st *auState, from ids.PeerID, m *Msg) {
 	// start after the proof timeout so the PollProof always precedes it.
 	voteDur := sched.Duration((st.pollEffort.VoteHash + st.pollEffort.VoteProof).Duration())
 	earliest := p.env.Now() + sched.Time(p.cfg.ProofTimeout)
-	taskID, slotStart, ok := p.sch.ReserveSlot(earliest, voteDur, m.VoteBy, "vote "+st.spec.Name)
+	taskID, slotStart, ok := p.sch.ReserveSlot(earliest, voteDur, m.VoteBy, st.voteLabel)
 	if !ok {
-		refuse(RefuseBusy)
+		p.refuseInvite(st, from, m.PollID, RefuseBusy)
 		return
 	}
 
-	s := &voterSession{
+	var s *voterSession
+	if k := len(p.freeSessions); k > 0 {
+		s = p.freeSessions[k-1]
+		p.freeSessions[k-1] = nil
+		p.freeSessions = p.freeSessions[:k-1]
+	} else {
+		s = &voterSession{}
+	}
+	*s = voterSession{
 		key:          key,
 		state:        vsAwaitProof,
 		taskID:       taskID,
@@ -158,7 +153,7 @@ func (p *Peer) voterHandlePoll(st *auState, from ids.PeerID, m *Msg) {
 	// Reservation defense: if the poller never follows up with PollProof,
 	// release the commitment and penalize (the introductory effort was
 	// sized to cover exactly this exposure).
-	s.cancel = p.env.After(p.cfg.ProofTimeout, func() {
+	s.timer = p.env.After(p.cfg.ProofTimeout, func() {
 		if s.state != vsAwaitProof {
 			return
 		}
@@ -166,6 +161,20 @@ func (p *Peer) voterHandlePoll(st *auState, from ids.PeerID, m *Msg) {
 		p.sch.Release(s.taskID)
 		st.rep.Penalize(repTime(p.env.Now()), from)
 		p.closeSession(st, s)
+	})
+}
+
+// refuseInvite sends a negative PollAck.
+func (p *Peer) refuseInvite(st *auState, from ids.PeerID, pollID uint64, r RefuseReason) {
+	p.stats.InvitesRefused++
+	p.send(from, &Msg{
+		Type:   MsgPollAck,
+		AU:     st.spec.ID,
+		PollID: pollID,
+		Poller: from,
+		Voter:  p.id,
+		Accept: false,
+		Refuse: r,
 	})
 }
 
@@ -177,14 +186,11 @@ func (p *Peer) voterHandleProof(st *auState, from ids.PeerID, m *Msg) {
 	if !ok || s.state != vsAwaitProof {
 		return
 	}
-	if s.cancel != nil {
-		s.cancel()
-		s.cancel = nil
-	}
+	p.stopTimer(&s.timer)
 	now := repTime(p.env.Now())
 	if p.cfg.EffortBalancing {
 		p.charge(KindVerify, p.costs.VerifyCost(st.pollEffort.Remainder))
-		if !p.env.VerifyProof(m.Context("remainder"), m.Proof, st.pollEffort.Remainder) {
+		if !p.env.VerifyProof(p.msgContext(m, "remainder"), m.Proof, st.pollEffort.Remainder) {
 			p.stats.BadProofs++
 			p.sch.Release(s.taskID)
 			st.rep.Penalize(now, from)
@@ -195,7 +201,7 @@ func (p *Peer) voterHandleProof(st *auState, from ids.PeerID, m *Msg) {
 	s.nonce = m.Nonce
 	s.state = vsAwaitSlot
 	// The vote materializes when its reserved compute slot completes.
-	s.cancel = p.env.After(sched.Duration(s.slotEnd-p.env.Now()), func() {
+	s.timer = p.env.After(sched.Duration(s.slotEnd-p.env.Now()), func() {
 		p.completeVote(st, s, from)
 	})
 }
@@ -208,7 +214,7 @@ func (p *Peer) completeVote(st *auState, s *voterSession, poller ids.PeerID) {
 		return
 	}
 	p.charge(KindVote, st.pollEffort.VoteHash+st.pollEffort.VoteProof)
-	vd := VoteDataOf(st.replica, s.nonce[:])
+	vd := p.ownVoteData(st, s.nonce[:])
 	m := &Msg{
 		Type:   MsgVote,
 		AU:     st.spec.ID,
@@ -218,12 +224,12 @@ func (p *Peer) completeVote(st *auState, s *voterSession, poller ids.PeerID) {
 		Vote:   vd,
 	}
 	if p.cfg.EffortBalancing {
-		proof, receipt := p.env.MakeProof(m.Context("vote"), st.pollEffort.VoteProof)
+		proof, receipt := p.env.MakeProof(p.msgContext(m, "vote"), st.pollEffort.VoteProof)
 		m.Proof = proof
 		s.myReceipt = receipt
 	}
 	// Discovery: offer a random subset of the reference list.
-	m.Nominations = p.sampleRefList(st, p.cfg.Nominations, map[ids.PeerID]bool{poller: true})
+	m.Nominations = p.sampleRefList(st, p.cfg.Nominations, poller)
 
 	s.state = vsAwaitReceipt
 	p.stats.VotesSupplied++
@@ -236,7 +242,7 @@ func (p *Peer) completeVote(st *auState, s *voterSession, poller ids.PeerID) {
 	if wait < 0 {
 		wait = p.cfg.ReceiptSlack
 	}
-	s.cancel = p.env.After(wait, func() {
+	s.timer = p.env.After(wait, func() {
 		if s.state != vsAwaitReceipt {
 			return
 		}
@@ -299,12 +305,12 @@ func (p *Peer) voterHandleReceipt(st *auState, from ids.PeerID, m *Msg) {
 	p.closeSession(st, s)
 }
 
-// closeSession cancels timers and forgets the session.
+// closeSession cancels timers and forgets the session, recycling the record.
+// A session's only live closure is its current timer, cancelled here, so
+// nothing can observe the record after it returns to the freelist.
 func (p *Peer) closeSession(st *auState, s *voterSession) {
-	if s.cancel != nil {
-		s.cancel()
-		s.cancel = nil
-	}
+	p.stopTimer(&s.timer)
 	s.state = vsClosed
 	delete(st.sessions, s.key)
+	p.freeSessions = append(p.freeSessions, s)
 }

@@ -54,6 +54,11 @@ type Schedule struct {
 	CommittedTotal Duration
 	// CommittedCount counts reservations ever made.
 	CommittedCount uint64
+
+	// mergeScratch backs merged's union timeline; slot searches under
+	// background load (layered runs) call merged on every schedule check, so
+	// the union is assembled in place instead of allocating per query.
+	mergeScratch []Task
 }
 
 // New returns an empty schedule.
@@ -91,9 +96,9 @@ func (s *Schedule) merged(from, to Time) []Task {
 	if len(bg) == 0 {
 		return s.tasks
 	}
-	all := make([]Task, 0, len(s.tasks)+len(bg))
-	all = append(all, s.tasks...)
+	all := append(s.mergeScratch[:0], s.tasks...)
 	all = append(all, bg...)
+	s.mergeScratch = all
 	sort.Slice(all, func(i, j int) bool { return all[i].Start < all[j].Start })
 	// Coalesce overlaps so gap-finding sees one busy timeline.
 	out := all[:0]

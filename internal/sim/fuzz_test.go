@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"slices"
+	"testing"
+)
+
+// checkHeapInvariants asserts the queue is a well-formed binary min-heap
+// whose back-pointers are consistent and whose membership matches the live
+// index. The event pool must never hand out a struct that is still queued.
+func checkHeapInvariants(t *testing.T, e *Engine) {
+	t.Helper()
+	if len(e.queue) != len(e.live) {
+		t.Fatalf("queue has %d events, live index has %d", len(e.queue), len(e.live))
+	}
+	for i, ev := range e.queue {
+		if ev.heap != i {
+			t.Fatalf("event %d stores heap index %d at position %d", ev.id, ev.heap, i)
+		}
+		if got, ok := e.live[ev.id]; !ok || got != ev {
+			t.Fatalf("queued event %d missing from live index", ev.id)
+		}
+		for _, child := range []int{2*i + 1, 2*i + 2} {
+			if child < len(e.queue) && e.queue.Less(child, i) {
+				t.Fatalf("heap order violated between %d and child %d", i, child)
+			}
+		}
+	}
+	for _, ev := range e.free {
+		if ev.fn != nil {
+			t.Fatal("pooled event retains its closure")
+		}
+		if _, ok := e.live[ev.id]; ok && len(e.queue) > 0 && e.live[ev.id] == ev {
+			t.Fatalf("pooled event %d still live", ev.id)
+		}
+	}
+}
+
+// FuzzEventHeap drives an Engine through arbitrary schedule/cancel/run/step
+// interleavings against a naive model, asserting that events fire in
+// (timestamp, FIFO-at-same-instant) order, cancellation semantics hold, and
+// the heap plus the event pool stay structurally sound throughout.
+func FuzzEventHeap(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 0, 2, 10})
+	f.Add([]byte{0, 5, 0, 5, 0, 5, 1, 0, 2, 255})
+	f.Add([]byte{0, 1, 3, 0, 0, 0, 1, 1, 0, 2, 2, 4, 3, 0, 3, 0})
+	f.Add([]byte{0, 200, 0, 100, 0, 100, 0, 0, 1, 2, 2, 150, 0, 50, 2, 255, 2, 255})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		e := NewEngine()
+		type modelEvent struct {
+			at    Time
+			label int // scheduling order, the FIFO tie-break
+			id    EventID
+		}
+		var (
+			pending []modelEvent
+			fired   []int
+			nextLab int
+		)
+		schedule := func(delta byte) {
+			at := e.Now().Add(Duration(delta))
+			label := nextLab
+			nextLab++
+			id := e.At(at, func() { fired = append(fired, label) })
+			pending = append(pending, modelEvent{at: at, label: label, id: id})
+		}
+		expectUpTo := func(until Time) []int {
+			var due []modelEvent
+			rest := pending[:0:0]
+			for _, ev := range pending {
+				if ev.at <= until {
+					due = append(due, ev)
+				} else {
+					rest = append(rest, ev)
+				}
+			}
+			slices.SortStableFunc(due, func(a, b modelEvent) int {
+				switch {
+				case a.at != b.at:
+					return int(a.at - b.at)
+				default:
+					return a.label - b.label
+				}
+			})
+			pending = rest
+			out := make([]int, len(due))
+			for i, ev := range due {
+				out[i] = ev.label
+			}
+			return out
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%4, ops[i+1]
+			switch op {
+			case 0: // schedule arg ns from now
+				schedule(arg)
+			case 1: // cancel the arg-th pending event (twice: second is a no-op)
+				if len(pending) == 0 {
+					continue
+				}
+				k := int(arg) % len(pending)
+				ev := pending[k]
+				if !e.Cancel(ev.id) {
+					t.Fatalf("Cancel(%d) of a pending event returned false", ev.id)
+				}
+				if e.Cancel(ev.id) {
+					t.Fatalf("second Cancel(%d) returned true", ev.id)
+				}
+				pending = append(pending[:k], pending[k+1:]...)
+			case 2: // run to a horizon
+				until := e.Now().Add(Duration(arg))
+				want := expectUpTo(until)
+				fired = fired[:0]
+				e.Run(until)
+				if !slices.Equal(fired, want) {
+					t.Fatalf("Run(%v) fired %v, want %v", until, fired, want)
+				}
+			case 3: // single step
+				want := []int(nil)
+				if len(pending) > 0 {
+					earliest := pending[0]
+					for _, ev := range pending[1:] {
+						if ev.at < earliest.at || (ev.at == earliest.at && ev.label < earliest.label) {
+							earliest = ev
+						}
+					}
+					want = append(want, earliest.label)
+					for k, ev := range pending {
+						if ev.id == earliest.id {
+							pending = append(pending[:k], pending[k+1:]...)
+							break
+						}
+					}
+				}
+				fired = fired[:0]
+				stepped := e.Step()
+				if stepped != (len(want) > 0) {
+					t.Fatalf("Step() = %v with %d pending", stepped, len(want))
+				}
+				if !slices.Equal(fired, want) {
+					t.Fatalf("Step fired %v, want %v", fired, want)
+				}
+			}
+			if e.Pending() != len(pending) {
+				t.Fatalf("Pending() = %d, model has %d", e.Pending(), len(pending))
+			}
+			if at, ok := e.Next(); ok != (len(pending) > 0) {
+				t.Fatalf("Next() ok = %v with %d pending", ok, len(pending))
+			} else if ok {
+				min := pending[0].at
+				for _, ev := range pending[1:] {
+					if ev.at < min {
+						min = ev.at
+					}
+				}
+				if at != min {
+					t.Fatalf("Next() = %v, model min %v", at, min)
+				}
+			}
+			checkHeapInvariants(t, e)
+		}
+	})
+}

@@ -104,6 +104,11 @@ type Engine struct {
 	nextID  EventID
 	live    map[EventID]*event
 	stopped bool
+	// free pools event structs released on fire/cancel. A long run schedules
+	// millions of events but holds only a bounded number at once, so the hot
+	// path recycles instead of allocating. IDs are never reused, so a stale
+	// Cancel cannot touch a recycled event.
+	free []*event
 
 	// Executed counts events that have fired, for progress reporting and
 	// engine benchmarks.
@@ -129,10 +134,25 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	}
 	e.nextSeq++
 	e.nextID++
-	ev := &event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+	} else {
+		ev = &event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+	}
 	heap.Push(&e.queue, ev)
 	e.live[ev.id] = ev
 	return ev.id
+}
+
+// release returns a popped or cancelled event to the pool, dropping its
+// closure reference so the pool does not pin captured state.
+func (e *Engine) release(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d after the current instant. Negative durations
@@ -153,6 +173,7 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	delete(e.live, id)
 	heap.Remove(&e.queue, ev.heap)
+	e.release(ev)
 	return true
 }
 
@@ -176,7 +197,11 @@ func (e *Engine) Run(until Time) uint64 {
 		heap.Pop(&e.queue)
 		delete(e.live, ev.id)
 		e.now = ev.at
-		ev.fn()
+		// Recycle before firing: fn may schedule (and the pool hand out the
+		// struct again), which is safe because ev is not touched afterwards.
+		fn := ev.fn
+		e.release(ev)
+		fn()
 		n++
 		e.Executed++
 	}
@@ -205,7 +230,9 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	delete(e.live, ev.id)
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	e.release(ev)
+	fn()
 	e.Executed++
 	return true
 }

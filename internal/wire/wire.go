@@ -284,10 +284,17 @@ func decodeVote(r *reader) protocol.VoteData {
 
 // Encode serializes a message.
 func Encode(m *protocol.Msg) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, 256), m)
+}
+
+// AppendEncode serializes a message, appending to dst and returning the
+// extended slice. Callers on a send loop pass a recycled buffer so steady-
+// state encoding does not allocate.
+func AppendEncode(dst []byte, m *protocol.Msg) ([]byte, error) {
 	if m == nil {
 		return nil, errors.New("wire: nil message")
 	}
-	w := &writer{buf: make([]byte, 0, 256)}
+	w := &writer{buf: dst}
 	w.u8(byte(m.Type))
 	w.u32(uint32(m.AU))
 	w.u64(m.PollID)

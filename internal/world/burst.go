@@ -54,6 +54,11 @@ func (b *BurstPayload) Deliver(w *World, victim *protocol.Peer) {
 	}
 	now := sched.Time(w.Engine.Now())
 	emitted := 0
+	// One shared copy of the template serves the whole stream: the Poll
+	// handler reads the message synchronously and never retains it, so only
+	// the per-invitation fields are rewritten between deliveries.
+	m := b.Template
+	m.Voter = victim.ID()
 	for i := 0; i < b.Count; i++ {
 		// An admitted unknown/in-debt invitation puts the victim in its
 		// refractory period; the attacker stops a stream that has achieved
@@ -67,9 +72,7 @@ func (b *BurstPayload) Deliver(w *World, victim *protocol.Peer) {
 		} else {
 			from = b.First + ids.PeerID(i)
 		}
-		m := b.Template // copy
 		m.Poller = from
-		m.Voter = victim.ID()
 		if b.MakeProof != nil {
 			proof, cost := b.MakeProof(m.Context("intro"))
 			m.Proof = proof

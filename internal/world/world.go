@@ -80,6 +80,12 @@ type World struct {
 	Root *prng.Source
 
 	specs []content.AUSpec
+
+	// proofCache interns the boxed symbolic proofs MakeProof hands out.
+	// Effort costs come from the per-AU cost model, so a run sees only a
+	// handful of distinct values; interning avoids re-boxing an identical
+	// immutable SimProof on every message. A World is single-goroutine.
+	proofCache map[effort.Seconds]effort.Proof
 }
 
 // Env adapts a World to protocol.Env for one peer.
@@ -92,10 +98,16 @@ type Env struct {
 // Now implements protocol.Env.
 func (e *Env) Now() sched.Time { return sched.Time(e.w.Engine.Now()) }
 
-// After implements protocol.Env.
-func (e *Env) After(d sched.Duration, fn func()) func() {
-	evID := e.w.Engine.After(sim.Duration(d), fn)
-	return func() { e.w.Engine.Cancel(evID) }
+// After implements protocol.Env. Engine event IDs are issued from 1, so they
+// serve directly as protocol timer IDs (zero = none) without a cancel
+// closure per timer.
+func (e *Env) After(d sched.Duration, fn func()) protocol.TimerID {
+	return protocol.TimerID(e.w.Engine.After(sim.Duration(d), fn))
+}
+
+// Cancel implements protocol.Env.
+func (e *Env) Cancel(t protocol.TimerID) bool {
+	return e.w.Engine.Cancel(sim.EventID(t))
 }
 
 // Rand implements protocol.Env.
@@ -109,7 +121,12 @@ func (e *Env) Send(to ids.PeerID, m *protocol.Msg) {
 // MakeProof implements protocol.Env with a symbolic proof; the effort cost
 // is charged by the protocol through the peer's ledger and schedule.
 func (e *Env) MakeProof(ctx []byte, cost effort.Seconds) (effort.Proof, effort.Receipt) {
-	return effort.SimProof{Effort: cost, Genuine: true}, effort.SimReceiptFor(ctx, cost)
+	p, ok := e.w.proofCache[cost]
+	if !ok {
+		p = effort.SimProof{Effort: cost, Genuine: true}
+		e.w.proofCache[cost] = p
+	}
+	return p, effort.SimReceiptFor(ctx, cost)
 }
 
 // VerifyProof implements protocol.Env.
@@ -143,11 +160,13 @@ func New(cfg Config) (*World, error) {
 	w := &World{
 		Cfg:             cfg,
 		Engine:          sim.NewEngine(),
-		Metrics:         metrics.NewCollector(),
+		Metrics:         metrics.NewCollectorSized(cfg.Peers * cfg.AUs),
 		AdversaryLedger: effort.NewLedger(),
 		Root:            prng.New(cfg.Seed),
+		proofCache:      make(map[effort.Seconds]effort.Proof),
 	}
-	w.Net = netsim.New(w.Engine)
+	// Loyal peers plus a margin for adversary-controlled nodes.
+	w.Net = netsim.NewSized(w.Engine, cfg.Peers+8)
 
 	// AU catalogue.
 	w.specs = make([]content.AUSpec, cfg.AUs)
