@@ -11,6 +11,16 @@
 // Each node preserves -aus archival units of -ausize bytes generated from
 // the same synthetic publisher, and audits them every -interval. With -rot,
 // a node corrupts one random block at startup to demonstrate repair.
+//
+// Transport knobs (see internal/node/transport.go): -sendqueue bounds each
+// peer's outbound message queue — when a stalled or dead peer's queue fills,
+// the oldest queued message is dropped rather than blocking the node (the
+// protocol's timeouts own reliability); -max-inbound caps concurrent inbound
+// sessions across all remotes, and -max-inbound-addr caps them per remote
+// address (its default of 64 accommodates single-machine clusters, where
+// every peer shares one IP), refusing the excess at accept. On shutdown
+// the node reports its transport counters (sends, drops, dials, redials,
+// queue high-water, inbound admission) alongside the protocol statistics.
 package main
 
 import (
@@ -79,6 +89,9 @@ func main() {
 		interval = flag.Duration("interval", 30*time.Second, "poll interval (demo timescale)")
 		rot      = flag.Bool("rot", false, "corrupt one random block at startup")
 		verbose  = flag.Bool("v", false, "log every vote supplied")
+		sendQ    = flag.Int("sendqueue", 128, "outbound message queue depth per peer (full queue drops oldest)")
+		maxIn    = flag.Int("max-inbound", 256, "max concurrent inbound sessions")
+		maxInIP  = flag.Int("max-inbound-addr", 64, "max concurrent inbound sessions per remote address (raise when many peers share one IP)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("lockss-node[%d] ", *id))
@@ -105,10 +118,12 @@ func main() {
 	pcfg.Refractory = *interval / 10
 	pcfg.GradeDecay = 10 * *interval
 	pcfg.BlockSize = 64 << 10
-	// Small networks: size the poll to the population.
+	// Small networks: size the poll to the population. Two peers is the
+	// floor: the documented three-node demo gives each member a two-entry
+	// address book.
 	n := len(book)
-	if n < 3 {
-		log.Fatalf("need at least 3 peers in the address book, have %d", n)
+	if n < 2 {
+		log.Fatalf("need at least 2 peers in the address book, have %d", n)
 	}
 	pcfg.Quorum = (n + 1) / 2
 	if pcfg.Quorum < 2 {
@@ -129,15 +144,18 @@ func main() {
 	}
 
 	nd, err := node.New(node.Config{
-		ID:          ids.PeerID(*id),
-		Listen:      *listen,
-		AddressBook: book,
-		Protocol:    pcfg,
-		Costs:       costs,
-		MBF:         effort.DefaultMBFParams(),
-		EffortUnit:  0.05,
-		Seed:        uint64(*id) * 7919,
-		Observer:    obs,
+		ID:                ids.PeerID(*id),
+		Listen:            *listen,
+		AddressBook:       book,
+		Protocol:          pcfg,
+		Costs:             costs,
+		MBF:               effort.DefaultMBFParams(),
+		EffortUnit:        0.05,
+		Seed:              uint64(*id) * 7919,
+		Observer:          obs,
+		SendQueue:         *sendQ,
+		MaxInbound:        *maxIn,
+		MaxInboundPerAddr: *maxInIP,
 		Logf: func(format string, args ...any) {
 			if *verbose {
 				log.Printf(format, args...)
@@ -189,6 +207,10 @@ func main() {
 	log.Printf("polls: ok=%d inquorate=%d inconclusive=%d repair-failed=%d; votes supplied=%d; repairs served=%d",
 		st.PollsSucceeded, st.PollsInquorate, st.PollsInconclusive, st.PollsRepairFailed,
 		st.VotesSupplied, st.RepairsServed)
+	ts := nd.TransportStats()
+	log.Printf("transport: sent=%d dropped=%d (queue-full=%d) dials=%d redials=%d dial-failures=%d queue-highwater=%d inbound accepted=%d rejected=%d",
+		ts.Sent, ts.Drops, ts.DropsQueueFull, ts.Dials, ts.Redials, ts.DialFailures,
+		ts.QueueHighWater, ts.InboundAccepted, ts.InboundRejected)
 }
 
 // quietObserver suppresses per-vote logging.

@@ -8,6 +8,7 @@
 package node
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -48,6 +49,39 @@ type Config struct {
 	Observer protocol.Observer
 	// Logf, if non-nil, receives diagnostic logs.
 	Logf func(format string, args ...any)
+
+	// SendQueue bounds each peer's outbound message queue; when a queue is
+	// full its oldest message is dropped to admit the new one (the network
+	// is lossy by contract — the protocol's timeouts own reliability, and
+	// fresh messages are the ones a slow peer can still use). Default 128.
+	SendQueue int
+	// MaxInbound caps concurrent inbound sessions across all remotes;
+	// connections beyond the cap are closed at accept. Default 256.
+	MaxInbound int
+	// MaxInboundPerAddr caps concurrent inbound sessions per remote IP —
+	// charged from accept through session end, so one address can neither
+	// flood handshakes nor park established sessions to monopolize the
+	// global budget. Default 16.
+	MaxInboundPerAddr int
+	// DialTimeout bounds one outbound connection attempt — the TCP dial
+	// and the session handshake share this one budget. It is also the
+	// deadline for each inbound handshake, i.e. how long a half-open
+	// connection may hold an admission slot. Default 5s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a remote that stops reading
+	// (pipe stoppage) fails the write instead of wedging the writer.
+	// Default 10s.
+	WriteTimeout time.Duration
+	// DialBackoffMin and DialBackoffMax bound the jittered exponential
+	// backoff between failed dials to the same peer. Defaults 100ms / 15s.
+	DialBackoffMin time.Duration
+	DialBackoffMax time.Duration
+	// InboundIdleTimeout reaps an established inbound session that stays
+	// silent this long, reclaiming its admission slots — without it, an
+	// adversary could park handshaked-but-mute sessions until MaxInbound
+	// is exhausted. Legitimate peers transparently redial on their next
+	// send. Default 5m.
+	InboundIdleTimeout time.Duration
 }
 
 // Node is a running peer.
@@ -63,20 +97,32 @@ type Node struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 
-	mu    sync.Mutex
-	conns map[ids.PeerID]*session.Conn
+	// tr owns all outbound links and inbound admission (transport.go).
+	tr *transport
+	// dialCtx is cancelled by Stop so in-flight dials abort instead of
+	// outliving shutdown by up to a full DialTimeout.
+	dialCtx    context.Context
+	dialCancel context.CancelFunc
+
+	mu sync.Mutex
 	// all tracks every live session (inbound and outbound) so Stop can
 	// unblock their read loops.
 	all map[*session.Conn]struct{}
+	// raws tracks raw conns that are mid-handshake (no session yet) so
+	// Stop can abort handshakes against silent remotes promptly.
+	raws map[net.Conn]struct{}
+	// addrs is the node's own copy of the address book, guarded by mu so
+	// operators can bind addresses (SetAddress) after peers have started.
+	addrs map[ids.PeerID]string
 
+	// tmu guards the timer table on its own lock: protocol timers must
+	// never contend with transport or session state, so a stalled peer
+	// cannot delay a timer arm or cancel.
+	tmu sync.Mutex
 	// timers maps protocol timer IDs to their wall-clock timers so the
 	// protocol can cancel by ID; fired and cancelled entries are removed.
 	timers   map[protocol.TimerID]*time.Timer
 	timerSeq uint64
-
-	// addrs is the node's own copy of the address book, guarded by mu so
-	// operators can bind addresses (SetAddress) after peers have started.
-	addrs map[ids.PeerID]string
 }
 
 // New builds a node. AddAU must be called before Start.
@@ -96,14 +142,25 @@ func New(cfg Config) (*Node, error) {
 		rnd:    prng.New(cfg.Seed ^ uint64(cfg.ID)*0x9e3779b97f4a7c15),
 		loop:   make(chan func(), 1024),
 		stop:   make(chan struct{}),
-		conns:  make(map[ids.PeerID]*session.Conn),
 		all:    make(map[*session.Conn]struct{}),
+		raws:   make(map[net.Conn]struct{}),
 		timers: make(map[protocol.TimerID]*time.Timer),
 		addrs:  make(map[ids.PeerID]string, len(cfg.AddressBook)),
 	}
 	for id, addr := range cfg.AddressBook {
 		n.addrs[id] = addr
 	}
+	n.dialCtx, n.dialCancel = context.WithCancel(context.Background())
+	n.tr = newTransport(n, transportConfig{
+		sendQueue:         cfg.SendQueue,
+		maxInbound:        cfg.MaxInbound,
+		maxInboundPerAddr: cfg.MaxInboundPerAddr,
+		dialTimeout:       cfg.DialTimeout,
+		writeTimeout:      cfg.WriteTimeout,
+		backoffMin:        cfg.DialBackoffMin,
+		backoffMax:        cfg.DialBackoffMax,
+		inboundIdle:       cfg.InboundIdleTimeout,
+	}.withDefaults())
 	p, err := protocol.New(cfg.ID, cfg.Protocol, cfg.Costs, (*env)(n), cfg.Observer)
 	if err != nil {
 		return nil, err
@@ -114,6 +171,11 @@ func New(cfg Config) (*Node, error) {
 
 // Peer exposes the protocol peer for inspection (replicas, stats).
 func (n *Node) Peer() *protocol.Peer { return n.peer }
+
+// TransportStats snapshots the transport counters (sends, drops, dials,
+// redials, queue high-water, inbound admission). Safe to call concurrently
+// with a running node.
+func (n *Node) TransportStats() TransportStats { return n.tr.stats() }
 
 // AddAU registers a replica to preserve; see protocol.Peer.AddAU.
 func (n *Node) AddAU(replica content.Replica, refs []ids.PeerID) error {
@@ -188,10 +250,17 @@ func (n *Node) Addr() net.Addr {
 	return n.listener.Addr()
 }
 
-// Stop terminates the node.
+// Stop terminates the node within a bounded time regardless of peer
+// behavior: the stop channel unwinds the actor loop and every per-peer
+// writer, cancelling dialCtx aborts in-flight dials, and closing tracked
+// sessions and mid-handshake raw conns unblocks reads, writes and
+// handshakes stalled on a wedged remote. Every goroutine the node spawns is
+// in n.wg, so when Wait returns nothing is left running.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
 		close(n.stop)
+		n.dialCancel()
+		n.tr.close()
 		if n.listener != nil {
 			n.listener.Close()
 		}
@@ -199,8 +268,11 @@ func (n *Node) Stop() {
 		for c := range n.all {
 			c.Close()
 		}
+		for r := range n.raws {
+			r.Close()
+		}
 		n.all = map[*session.Conn]struct{}{}
-		n.conns = map[ids.PeerID]*session.Conn{}
+		n.raws = map[net.Conn]struct{}{}
 		n.mu.Unlock()
 	})
 	n.wg.Wait()
@@ -219,7 +291,7 @@ func (n *Node) runLoop() {
 	}
 }
 
-// acceptLoop serves inbound sessions.
+// acceptLoop serves inbound sessions behind the transport's admission caps.
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
 	for {
@@ -227,29 +299,51 @@ func (n *Node) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		if !n.tr.admit(raw) {
+			n.logf("inbound from %v rejected: admission cap", raw.RemoteAddr())
+			raw.Close()
+			continue
+		}
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
-			// Bound the handshake so a half-open connection cannot wedge
-			// shutdown.
-			raw.SetDeadline(time.Now().Add(10 * time.Second))
+			defer n.tr.inboundDone(raw)
+			// Bound the handshake so a half-open connection cannot hold an
+			// admission slot indefinitely; track the raw conn so Stop can
+			// abort the handshake immediately.
+			n.trackRaw(raw)
+			raw.SetDeadline(time.Now().Add(n.tr.cfg.dialTimeout))
 			conn, err := session.Server(raw)
+			n.untrackRaw(raw)
 			if err != nil {
 				n.logf("inbound handshake failed: %v", err)
 				raw.Close()
 				return
 			}
 			raw.SetDeadline(time.Time{})
+			conn.SetWriteTimeout(n.tr.cfg.writeTimeout)
+			// A silent established session is reaped so it cannot park
+			// its admission slots forever; real peers redial on demand.
+			conn.SetReadIdleTimeout(n.tr.cfg.inboundIdle)
 			n.readLoop(conn)
 		}()
 	}
 }
 
-// track registers a live session for shutdown.
-func (n *Node) track(conn *session.Conn) {
+// track registers a live session for shutdown; it reports false (closing
+// the session) if Stop already ran, so a session that finished its
+// handshake during shutdown cannot escape the close sweep.
+func (n *Node) track(conn *session.Conn) bool {
 	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.stop:
+		conn.Close()
+		return false
+	default:
+	}
 	n.all[conn] = struct{}{}
-	n.mu.Unlock()
+	return true
 }
 
 // untrack forgets a closed session.
@@ -259,9 +353,31 @@ func (n *Node) untrack(conn *session.Conn) {
 	n.mu.Unlock()
 }
 
+// trackRaw registers a mid-handshake conn for Stop's close sweep; if Stop
+// already ran the conn is closed on the spot so the handshake fails fast.
+func (n *Node) trackRaw(raw net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	select {
+	case <-n.stop:
+		raw.Close()
+	default:
+		n.raws[raw] = struct{}{}
+	}
+}
+
+// untrackRaw forgets a conn whose handshake resolved.
+func (n *Node) untrackRaw(raw net.Conn) {
+	n.mu.Lock()
+	delete(n.raws, raw)
+	n.mu.Unlock()
+}
+
 // readLoop decodes frames from one session and feeds the protocol.
 func (n *Node) readLoop(conn *session.Conn) {
-	n.track(conn)
+	if !n.track(conn) {
+		return
+	}
 	defer n.untrack(conn)
 	defer conn.Close()
 	for {
@@ -291,84 +407,6 @@ func senderOf(m *protocol.Msg) ids.PeerID {
 	}
 }
 
-// connTo returns (dialing if necessary) the outbound session to a peer.
-func (n *Node) connTo(to ids.PeerID) (*session.Conn, error) {
-	n.mu.Lock()
-	if c, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return c, nil
-	}
-	n.mu.Unlock()
-	n.mu.Lock()
-	addr, ok := n.addrs[to]
-	n.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("node: no address for %v", to)
-	}
-	raw, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, err
-	}
-	conn, err := session.Client(raw)
-	if err != nil {
-		raw.Close()
-		return nil, err
-	}
-	n.mu.Lock()
-	if existing, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
-	n.conns[to] = conn
-	n.mu.Unlock()
-	// Replies arriving on the outbound session are also protocol input.
-	n.wg.Add(1)
-	go func() {
-		defer n.wg.Done()
-		n.readLoop(conn)
-		n.mu.Lock()
-		if n.conns[to] == conn {
-			delete(n.conns, to)
-		}
-		n.mu.Unlock()
-	}()
-	return conn, nil
-}
-
-// encodeBufs recycles wire-encoding scratch across concurrent sendMsg calls.
-var encodeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
-
-// sendMsg delivers one message asynchronously; failures are silent, like
-// the network (the protocol's timeouts and retries own reliability).
-func (n *Node) sendMsg(to ids.PeerID, m *protocol.Msg) {
-	bufp := encodeBufs.Get().(*[]byte)
-	defer func() { *bufp = (*bufp)[:0]; encodeBufs.Put(bufp) }()
-	data, err := wire.AppendEncode((*bufp)[:0], m)
-	if err != nil {
-		n.logf("encode %v: %v", m.Type, err)
-		return
-	}
-	*bufp = data
-	conn, err := n.connTo(to)
-	if err != nil {
-		n.logf("dial %v: %v", to, err)
-		return
-	}
-	n.mu.Lock()
-	err = conn.WriteMsg(data)
-	n.mu.Unlock()
-	if err != nil {
-		n.logf("send %v to %v: %v", m.Type, to, err)
-		n.mu.Lock()
-		if n.conns[to] == conn {
-			delete(n.conns, to)
-		}
-		n.mu.Unlock()
-		conn.Close()
-	}
-}
-
 // env adapts Node to protocol.Env.
 type env Node
 
@@ -387,31 +425,31 @@ func (e *env) After(d sched.Duration, fn func()) protocol.TimerID {
 	if d < 0 {
 		d = 0
 	}
-	n.mu.Lock()
+	n.tmu.Lock()
 	n.timerSeq++
 	id := protocol.TimerID(n.timerSeq)
 	n.timers[id] = time.AfterFunc(time.Duration(d), func() {
 		n.post(func() {
-			n.mu.Lock()
+			n.tmu.Lock()
 			_, live := n.timers[id]
 			delete(n.timers, id)
-			n.mu.Unlock()
+			n.tmu.Unlock()
 			if live {
 				fn()
 			}
 		})
 	})
-	n.mu.Unlock()
+	n.tmu.Unlock()
 	return id
 }
 
 // Cancel implements protocol.Env.
 func (e *env) Cancel(id protocol.TimerID) bool {
 	n := (*Node)(e)
-	n.mu.Lock()
+	n.tmu.Lock()
 	t, ok := n.timers[id]
 	delete(n.timers, id)
-	n.mu.Unlock()
+	n.tmu.Unlock()
 	if ok {
 		t.Stop() // best-effort; the loop-side liveness check is authoritative
 	}
@@ -421,10 +459,13 @@ func (e *env) Cancel(id protocol.TimerID) bool {
 // Rand implements protocol.Env.
 func (e *env) Rand() *prng.Source { return e.rnd }
 
-// Send implements protocol.Env.
+// Send implements protocol.Env. The message is encoded to bytes here,
+// synchronously on the actor loop, because the protocol pools the records
+// backing m's fields and may reuse them the moment this call returns; only
+// the encoded buffer travels to the per-peer writer. The call never blocks:
+// a full queue drops the message (transport.go).
 func (e *env) Send(to ids.PeerID, m *protocol.Msg) {
-	n := (*Node)(e)
-	go n.sendMsg(to, m)
+	(*Node)(e).tr.send(to, m)
 }
 
 // units scales a requested effort cost to MBF walk units.

@@ -18,18 +18,35 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
 )
 
 // MaxFrame bounds the size of a single message frame.
 const MaxFrame = 96 << 20
 
 // Conn is an established encrypted session over a reliable byte stream.
+//
+// WriteMsg is safe for concurrent use: a write mutex serializes the nonce
+// counter, the seal, and the two stream writes, so interleaved callers can
+// never desynchronize the GCM nonce sequence from the byte stream. ReadMsg
+// must still be called from a single goroutine (one reader owns the inbound
+// half).
 type Conn struct {
 	raw     net.Conn
 	send    cipher.AEAD
 	recv    cipher.AEAD
 	sendCtr uint64
 	recvCtr uint64
+
+	// wmu guards sendCtr, writeTimeout and the framing writes.
+	wmu          sync.Mutex
+	writeTimeout time.Duration
+
+	// readIdle, when set, bounds how long ReadMsg waits for the next
+	// frame. Set it before the first ReadMsg (it is read without a lock by
+	// the reader goroutine).
+	readIdle time.Duration
 }
 
 // deriveAEAD builds an AES-256-GCM AEAD from the shared secret and a
@@ -109,10 +126,29 @@ func nonce(ctr uint64) []byte {
 	return n[:]
 }
 
-// WriteMsg encrypts and frames one message.
+// SetWriteTimeout bounds every subsequent WriteMsg: a frame that cannot be
+// flushed within d (a remote that stopped reading, with full TCP buffers —
+// the paper's pipe-stoppage adversary) fails instead of blocking the writer
+// forever. Zero disables the bound.
+func (c *Conn) SetWriteTimeout(d time.Duration) {
+	c.wmu.Lock()
+	c.writeTimeout = d
+	c.wmu.Unlock()
+}
+
+// WriteMsg encrypts and frames one message. Safe for concurrent use. An
+// error means the session is dead — the nonce counter may have advanced past
+// a partially written frame — and the Conn must be closed, not retried.
 func (c *Conn) WriteMsg(plaintext []byte) error {
 	if len(plaintext) > MaxFrame {
 		return fmt.Errorf("session: frame of %d bytes exceeds limit", len(plaintext))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.writeTimeout > 0 {
+		c.raw.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	} else {
+		c.raw.SetWriteDeadline(time.Time{}) // clear any previously armed bound
 	}
 	sealed := c.send.Seal(nil, nonce(c.sendCtr), plaintext, nil)
 	c.sendCtr++
@@ -125,8 +161,18 @@ func (c *Conn) WriteMsg(plaintext []byte) error {
 	return err
 }
 
-// ReadMsg reads and decrypts one message.
+// SetReadIdleTimeout bounds how long each subsequent ReadMsg waits for a
+// frame, so an established session that goes silent can be reaped instead
+// of holding resources forever. Must be called before the first ReadMsg;
+// zero (the default) disables the bound.
+func (c *Conn) SetReadIdleTimeout(d time.Duration) { c.readIdle = d }
+
+// ReadMsg reads and decrypts one message. It must be called from a single
+// goroutine.
 func (c *Conn) ReadMsg() ([]byte, error) {
+	if c.readIdle > 0 {
+		c.raw.SetReadDeadline(time.Now().Add(c.readIdle))
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.raw, hdr[:]); err != nil {
 		return nil, err

@@ -2,8 +2,11 @@ package session
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
+	"time"
 )
 
 // pipePair establishes a session over an in-memory duplex pipe.
@@ -190,5 +193,63 @@ func TestDistinctSessionsDistinctKeys(t *testing.T) {
 	// probability; equal handshake transcripts would be alarming.
 	if cap1.out.Len() == 0 {
 		t.Skip("no handshake bytes captured")
+	}
+}
+
+// TestConcurrentWriters proves WriteMsg's internal locking keeps the GCM
+// nonce sequence aligned with the byte stream when several goroutines share
+// one Conn (the per-peer writer plus any future control-plane sender). Run
+// with -race.
+func TestConcurrentWriters(t *testing.T) {
+	c, s := pipePair(t)
+	defer c.Close()
+	defer s.Close()
+
+	const writers, perWriter = 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				msg := fmt.Sprintf("writer-%d-msg-%d", w, i)
+				if err := c.WriteMsg([]byte(msg)); err != nil {
+					t.Errorf("write %s: %v", msg, err)
+					return
+				}
+			}
+		}(w)
+	}
+	got := make(map[string]bool, writers*perWriter)
+	for i := 0; i < writers*perWriter; i++ {
+		m, err := s.ReadMsg()
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		got[string(m)] = true
+	}
+	wg.Wait()
+	if len(got) != writers*perWriter {
+		t.Fatalf("received %d distinct messages, want %d", len(got), writers*perWriter)
+	}
+}
+
+// TestWriteTimeout: a peer that completes the handshake and then never reads
+// (pipe stoppage) must not hold WriteMsg hostage once a write timeout is set.
+func TestWriteTimeout(t *testing.T) {
+	c, s := pipePair(t)
+	defer c.Close()
+	defer s.Close()
+
+	c.SetWriteTimeout(50 * time.Millisecond)
+	// net.Pipe is unbuffered: with no reader on s, the first write blocks
+	// until the deadline trips.
+	start := time.Now()
+	err := c.WriteMsg([]byte("into the void"))
+	if err == nil {
+		t.Fatal("write to a stalled peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("write timeout took %v, want ~50ms", elapsed)
 	}
 }
