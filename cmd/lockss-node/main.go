@@ -2,15 +2,32 @@
 // repair protocol over encrypted TCP sessions with real content hashing and
 // real memory-bound proofs of effort.
 //
-// A three-node demo network on one machine:
+// A three-node demo network on one machine, each peer preserving its AUs in
+// a durable on-disk store:
 //
-//	lockss-node -id 1 -listen :7421 -peers 2=localhost:7422,3=localhost:7423 -interval 10s
-//	lockss-node -id 2 -listen :7422 -peers 1=localhost:7421,3=localhost:7423 -interval 10s
-//	lockss-node -id 3 -listen :7423 -peers 1=localhost:7421,2=localhost:7422 -interval 10s
+//	lockss-node -id 1 -listen :7421 -peers 2=localhost:7422,3=localhost:7423 -interval 10s -data-dir /tmp/n1
+//	lockss-node -id 2 -listen :7422 -peers 1=localhost:7421,3=localhost:7423 -interval 10s -data-dir /tmp/n2
+//	lockss-node -id 3 -listen :7423 -peers 1=localhost:7421,2=localhost:7422 -interval 10s -data-dir /tmp/n3
 //
-// Each node preserves -aus archival units of -ausize bytes generated from
-// the same synthetic publisher, and audits them every -interval. With -rot,
-// a node corrupts one random block at startup to demonstrate repair.
+// With -data-dir, regular files placed at the top level of the directory are
+// ingested as archival units (every peer must hold the same files under the
+// same names); without any, the node synthesizes -aus units of -ausize bytes
+// from the shared publisher stream. Either way the content lives in
+// data-dir/au-*/blocks.dat behind a checksummed manifest, a background
+// scrubber verifies it block by block (pace set by -scrub-pace), and repairs
+// negotiated by polls are written back to disk crash-safely. Without
+// -data-dir the node falls back to in-memory synthetic replicas.
+//
+// Damage demos: -rot corrupts one random block at startup through the
+// replica (marked damage); -inject-damage AU:BLOCK flips real bits on disk
+// behind the store's back — silent corruption the scrubber then has to find,
+// raise the AU's audit priority for, and the next poll repairs.
+// -verify-store checks every block of every AU against its manifest and
+// exits (0 = everything verifies).
+//
+// Observability: -stats-interval prints a one-line snapshot (polls,
+// transport counters, store scrub/damage/repair counters) on a cadence, so
+// long-running demos are observable before their exit statistics.
 //
 // Transport knobs (see internal/node/transport.go): -sendqueue bounds each
 // peer's outbound message queue — when a stalled or dead peer's queue fills,
@@ -30,6 +47,8 @@ import (
 	"math/rand"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -42,6 +61,7 @@ import (
 	"lockss/internal/protocol"
 	"lockss/internal/reputation"
 	"lockss/internal/sched"
+	"lockss/internal/store"
 )
 
 // logObserver prints protocol milestones.
@@ -79,26 +99,175 @@ func parsePeers(s string) (map[ids.PeerID]string, error) {
 	return book, nil
 }
 
+// parseInjection parses -inject-damage's AU:BLOCK form (BLOCK may be "rand").
+func parseInjection(s string) (content.AUID, int, error) {
+	kv := strings.SplitN(s, ":", 2)
+	if len(kv) != 2 {
+		return 0, 0, fmt.Errorf("bad -inject-damage %q (want AU:BLOCK or AU:rand)", s)
+	}
+	au, err := strconv.ParseUint(kv[0], 10, 32)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -inject-damage AU %q: %v", kv[0], err)
+	}
+	if kv[1] == "rand" {
+		return content.AUID(au), -1, nil
+	}
+	block, err := strconv.Atoi(kv[1])
+	if err != nil || block < 0 {
+		return 0, 0, fmt.Errorf("bad -inject-damage block %q", kv[1])
+	}
+	return content.AUID(au), block, nil
+}
+
+// openStoreAUs opens (or populates) the durable store under dataDir and
+// returns it with its replicas in AU order. Top-level regular files are
+// ingested as AUs in name order — deterministic, so peers holding the same
+// files agree on AU identities. A store holding nothing and a directory
+// holding no files fall back to synthesizing aus publisher units of auSize
+// bytes, durably ingested on first run and reloaded on later ones.
+func openStoreAUs(dataDir string, id uint64, aus int, auSize, blockSize int64) (*store.Store, []content.Replica, error) {
+	st, err := store.Open(dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Name -> AU id assignments must be stable across restarts and equal
+	// across peers: names already in the store keep their stored ids, new
+	// names are numbered past the highest existing id in sorted order. Two
+	// peers agree as long as they grow their data dirs with the same file
+	// sets in the same order (initially: the same files).
+	entries, err := os.ReadDir(dataDir)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	have := make(map[string]bool)
+	nextID := content.AUID(1)
+	for _, r := range st.Replicas() {
+		have[r.Spec().Name] = true
+		if id := r.Spec().ID; id >= nextID {
+			nextID = id + 1
+		}
+	}
+	switch {
+	case len(files) > 0:
+		for _, name := range files {
+			if have[name] {
+				continue // already preserved; the store copy is authoritative
+			}
+			data, err := os.ReadFile(filepath.Join(dataDir, name))
+			if err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+			spec := content.AUSpec{
+				ID:        nextID,
+				Name:      name,
+				Size:      int64(len(data)),
+				BlockSize: blockSize,
+			}
+			if _, err := st.Create(spec, id<<16|uint64(spec.ID), data); err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+			nextID++
+			log.Printf("ingested %s as AU %d (%d bytes, %d blocks)", name, spec.ID, spec.Size, spec.Blocks())
+		}
+	case len(st.AUs()) == 0:
+		for i := 0; i < aus; i++ {
+			spec := content.AUSpec{
+				ID:        content.AUID(i + 1),
+				Name:      fmt.Sprintf("journal-%04d", 2000+i),
+				Size:      auSize,
+				BlockSize: blockSize,
+			}
+			if _, err := st.Create(spec, id<<16|uint64(i), content.PublisherBytes(spec)); err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+			log.Printf("ingested synthetic %s as AU %d (%d bytes)", spec.Name, spec.ID, spec.Size)
+		}
+	}
+	var replicas []content.Replica
+	for _, r := range st.Replicas() {
+		replicas = append(replicas, r)
+	}
+	return st, replicas, nil
+}
+
+// verifyStore is the -verify-store mode: check every block of every AU
+// against its manifest and report. Exit 0 only if the store loads and every
+// block verifies.
+func verifyStore(dataDir string) int {
+	st, err := store.Open(dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockss-node: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+	dam, err := st.VerifyAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lockss-node: verify: %v\n", err)
+		return 1
+	}
+	for _, d := range dam {
+		fmt.Printf("AU %d block %d DAMAGED (marked=%v)\n", d.AU, d.Block, d.Marked)
+	}
+	total := 0
+	for _, r := range st.Replicas() {
+		total += r.Spec().Blocks()
+	}
+	if len(dam) > 0 {
+		fmt.Printf("store %s: %d AUs, %d/%d blocks verify\n", dataDir, len(st.AUs()), total-len(dam), total)
+		return 1
+	}
+	fmt.Printf("store %s: %d AUs, all %d blocks verify\n", dataDir, len(st.AUs()), total)
+	return 0
+}
+
 func main() {
 	var (
 		id       = flag.Uint("id", 0, "this peer's numeric identity (required)")
 		listen   = flag.String("listen", ":7421", "TCP listen address")
 		peers    = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
-		aus      = flag.Int("aus", 2, "archival units to preserve")
-		auSize   = flag.Int64("ausize", 1<<20, "bytes per archival unit")
+		aus      = flag.Int("aus", 2, "archival units to preserve (when not ingesting files)")
+		auSize   = flag.Int64("ausize", 1<<20, "bytes per synthetic archival unit")
 		interval = flag.Duration("interval", 30*time.Second, "poll interval (demo timescale)")
-		rot      = flag.Bool("rot", false, "corrupt one random block at startup")
+		rot      = flag.Bool("rot", false, "corrupt one random block at startup (marked damage)")
 		verbose  = flag.Bool("v", false, "log every vote supplied")
 		sendQ    = flag.Int("sendqueue", 128, "outbound message queue depth per peer (full queue drops oldest)")
 		maxIn    = flag.Int("max-inbound", 256, "max concurrent inbound sessions")
 		maxInIP  = flag.Int("max-inbound-addr", 64, "max concurrent inbound sessions per remote address (raise when many peers share one IP)")
+
+		dataDir   = flag.String("data-dir", "", "durable AU store root; top-level files are ingested as AUs (empty = in-memory replicas)")
+		inject    = flag.String("inject-damage", "", "flip bits on disk in AU:BLOCK (or AU:rand) at startup; requires -data-dir")
+		verify    = flag.Bool("verify-store", false, "verify every block in -data-dir against its manifest and exit")
+		scrubPace = flag.Duration("scrub-pace", time.Second, "pause between background scrub block verifications")
+		statsIvl  = flag.Duration("stats-interval", 0, "print a one-line stats snapshot this often (0 = only at exit)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("lockss-node[%d] ", *id))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
+	if *verify {
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "lockss-node: -verify-store requires -data-dir")
+			os.Exit(2)
+		}
+		os.Exit(verifyStore(*dataDir))
+	}
 	if *id == 0 {
 		fmt.Fprintln(os.Stderr, "lockss-node: -id is required")
+		os.Exit(2)
+	}
+	if *inject != "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "lockss-node: -inject-damage requires -data-dir")
 		os.Exit(2)
 	}
 	book, err := parsePeers(*peers)
@@ -143,6 +312,48 @@ func main() {
 		obs = quietObserver{logObserver{id: ids.PeerID(*id)}}
 	}
 
+	// Build the replicas: durable store-backed when -data-dir is set,
+	// in-memory synthetic otherwise.
+	var (
+		st       *store.Store
+		replicas []content.Replica
+	)
+	if *dataDir != "" {
+		st, replicas, err = openStoreAUs(*dataDir, uint64(*id), *aus, *auSize, pcfg.BlockSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("durable store %s: %d AUs", *dataDir, len(replicas))
+	} else {
+		for i := 0; i < *aus; i++ {
+			spec := content.AUSpec{
+				ID:        content.AUID(i + 1),
+				Name:      fmt.Sprintf("journal-%04d", 2000+i),
+				Size:      *auSize,
+				BlockSize: pcfg.BlockSize,
+			}
+			replicas = append(replicas, content.NewRealReplica(spec, uint64(*id)<<16|uint64(i)))
+		}
+	}
+
+	if *inject != "" {
+		au, block, err := parseInjection(*inject)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := st.Replica(au)
+		if r == nil {
+			log.Fatalf("-inject-damage: no AU %d in store", au)
+		}
+		if block < 0 {
+			block = rand.Intn(r.Spec().Blocks())
+		}
+		if err := st.InjectDamage(au, block); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("injected silent bit rot on disk: AU %d block %d", au, block)
+	}
+
 	nd, err := node.New(node.Config{
 		ID:                ids.PeerID(*id),
 		Listen:            *listen,
@@ -156,6 +367,8 @@ func main() {
 		SendQueue:         *sendQ,
 		MaxInbound:        *maxIn,
 		MaxInboundPerAddr: *maxInIP,
+		Store:             st,
+		ScrubPace:         *scrubPace,
 		Logf: func(format string, args ...any) {
 			if *verbose {
 				log.Printf(format, args...)
@@ -170,14 +383,8 @@ func main() {
 	for p := range book {
 		refs = append(refs, p)
 	}
-	for i := 0; i < *aus; i++ {
-		spec := content.AUSpec{
-			ID:        content.AUID(i + 1),
-			Name:      fmt.Sprintf("journal-%04d", 2000+i),
-			Size:      *auSize,
-			BlockSize: pcfg.BlockSize,
-		}
-		replica := content.NewRealReplica(spec, uint64(*id)<<16|uint64(i))
+	for _, replica := range replicas {
+		spec := replica.Spec()
 		if *rot {
 			block := rand.Intn(spec.Blocks())
 			replica.Damage(block)
@@ -195,22 +402,60 @@ func main() {
 	if err := nd.Start(); err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("preserving %d AUs of %d bytes; polling every %v; peers: %v", *aus, *auSize, *interval, *peers)
+	log.Printf("preserving %d AUs; polling every %v; peers: %v", len(replicas), *interval, *peers)
+
+	// statsLine snapshots everything observable about the running node.
+	statsLine := func() string {
+		var ps protocol.PeerStats
+		nd.Inspect(func(p *protocol.Peer) { ps = p.Stats() })
+		ts := nd.TransportStats()
+		line := fmt.Sprintf("polls ok=%d inq=%d incon=%d repfail=%d votes=%d repairs rx=%d tx=%d | transport sent=%d dropped=%d dials=%d",
+			ps.PollsSucceeded, ps.PollsInquorate, ps.PollsInconclusive, ps.PollsRepairFailed,
+			ps.VotesReceived, ps.RepairsReceived, ps.RepairsServed, ts.Sent, ts.Drops, ts.Dials)
+		if st != nil {
+			ss := nd.StoreStats()
+			line += fmt.Sprintf(" | store scanned=%d verified=%d damaged=%d repaired=%d passes=%d",
+				ss.BlocksScanned, ss.BlocksVerified, ss.BlocksDamaged, ss.BlocksRepaired, ss.ScrubPasses)
+		}
+		return line
+	}
+	statsDone := make(chan struct{})
+	if *statsIvl > 0 {
+		go func() {
+			tick := time.NewTicker(*statsIvl)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					log.Printf("stats: %s", statsLine())
+				case <-statsDone:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	close(statsDone)
 	nd.Stop()
 
-	st := nd.Peer().Stats()
+	pst := nd.Peer().Stats()
 	log.Printf("polls: ok=%d inquorate=%d inconclusive=%d repair-failed=%d; votes supplied=%d; repairs served=%d",
-		st.PollsSucceeded, st.PollsInquorate, st.PollsInconclusive, st.PollsRepairFailed,
-		st.VotesSupplied, st.RepairsServed)
+		pst.PollsSucceeded, pst.PollsInquorate, pst.PollsInconclusive, pst.PollsRepairFailed,
+		pst.VotesSupplied, pst.RepairsServed)
 	ts := nd.TransportStats()
 	log.Printf("transport: sent=%d dropped=%d (queue-full=%d) dials=%d redials=%d dial-failures=%d queue-highwater=%d inbound accepted=%d rejected=%d",
 		ts.Sent, ts.Drops, ts.DropsQueueFull, ts.Dials, ts.Redials, ts.DialFailures,
 		ts.QueueHighWater, ts.InboundAccepted, ts.InboundRejected)
+	if st != nil {
+		ss := nd.StoreStats()
+		log.Printf("store: scanned=%d verified=%d damaged=%d repaired=%d passes=%d manifest-writes=%d injected=%d",
+			ss.BlocksScanned, ss.BlocksVerified, ss.BlocksDamaged, ss.BlocksRepaired,
+			ss.ScrubPasses, ss.ManifestWrites, ss.DamageInjected)
+	}
 }
 
 // quietObserver suppresses per-vote logging.

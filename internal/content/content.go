@@ -2,10 +2,14 @@
 // replicas, storage damage ("bit rot"), and the block hashing that votes are
 // built from.
 //
-// Two replica implementations share the Replica interface:
+// Three replica implementations share the Replica interface:
 //
-//   - RealReplica holds actual bytes and hashes them with SHA-256. The real
-//     node, the examples and the integration tests use it.
+//   - RealReplica holds actual bytes in memory and hashes them with SHA-256.
+//     The real node's synthetic demos, the examples and the integration
+//     tests use it.
+//   - store.Replica (internal/store) keeps the bytes on disk behind a
+//     crash-safe manifest and streams its vote hashes from the block file;
+//     it is the durable backend the preservation node runs on.
 //   - SimReplica is symbolic: it tracks only which blocks differ from the
 //     publisher's correct content, as a sparse set of damage marks. At
 //     simulation scale (100 peers x 600 AUs x 0.5 GB) symbolic replicas
@@ -96,25 +100,34 @@ type Replica interface {
 	ApplyRepair(i int, data []byte) error
 	// Damaged reports whether any block differs from the correct content.
 	Damaged() bool
+	// Generation returns a counter that changes on every content mutation
+	// (damage and repair), so callers can key caches of derived data — vote
+	// bodies, snapshots — on the replica's state.
+	Generation() uint64
 }
 
-// voteHasher chains a replica's block hashes through one digest. All the
-// buffers that cross the hash.Hash interface boundary (and would therefore
-// escape per call) live in this struct, so hashing a whole replica costs a
-// fixed handful of allocations instead of several per block.
-type voteHasher struct {
+// VoteHasher chains a replica's block hashes through one digest: the
+// boundary hash at block i is H(prev || nonce || block-id || payload). All
+// the buffers that cross the hash.Hash interface boundary (and would
+// therefore escape per call) live in this struct, so hashing a whole replica
+// costs a fixed handful of allocations instead of several per block. Every
+// Replica implementation — symbolic, in-memory, and the on-disk store —
+// chains through this one type, which is what keeps their vote hashes
+// interchangeable on the wire.
+type VoteHasher struct {
 	h    hash.Hash
 	hdr  [12]byte
 	prev Hash
 }
 
-func newVoteHasher() *voteHasher {
-	return &voteHasher{h: sha256.New()}
+// NewVoteHasher returns a hasher with an all-zero initial chain value.
+func NewVoteHasher() *VoteHasher {
+	return &VoteHasher{h: sha256.New()}
 }
 
-// step advances the running-hash chain: prev = H(prev || nonce || block-id
+// Step advances the running-hash chain: prev = H(prev || nonce || block-id
 // || payload), returning the new boundary hash.
-func (v *voteHasher) step(nonce []byte, au AUID, block int, payload []byte) Hash {
+func (v *VoteHasher) Step(nonce []byte, au AUID, block int, payload []byte) Hash {
 	v.h.Reset()
 	v.h.Write(v.prev[:])
 	v.h.Write(nonce)
@@ -127,13 +140,11 @@ func (v *voteHasher) step(nonce []byte, au AUID, block int, payload []byte) Hash
 }
 
 // voteHash computes one running-hash chain step: H(prev || nonce || block-id
-// || payload). Both replica implementations chain through voteHasher so
-// their vote hashes are interchangeable; this one-shot form serves tests and
-// spot checks.
+// || payload). This one-shot form serves tests and spot checks.
 func voteHash(prev Hash, nonce []byte, au AUID, block int, payload []byte) Hash {
-	v := newVoteHasher()
+	v := NewVoteHasher()
 	v.prev = prev
-	return v.step(nonce, au, block, payload)
+	return v.Step(nonce, au, block, payload)
 }
 
 // correctPayload derives the publisher's canonical content token for a
@@ -217,10 +228,10 @@ func (r *SimReplica) appendPayload(dst []byte, i int) []byte {
 func (r *SimReplica) VoteHashes(nonce []byte) []Hash {
 	n := r.spec.Blocks()
 	out := make([]Hash, n)
-	v := newVoteHasher()
+	v := NewVoteHasher()
 	var pbuf [21]byte
 	for i := 0; i < n; i++ {
-		out[i] = v.step(nonce, r.spec.ID, i, r.appendPayload(pbuf[:0], i))
+		out[i] = v.Step(nonce, r.spec.ID, i, r.appendPayload(pbuf[:0], i))
 	}
 	return out
 }
@@ -295,7 +306,9 @@ func (r *SimReplica) ApplyRepair(i int, data []byte) error {
 		r.mutated()
 		return nil
 	}
-	if len(data) == 21 && data[0] == 'X' {
+	if len(data) == 21 && data[0] == 'X' &&
+		binary.BigEndian.Uint32(data[1:5]) == uint32(r.spec.ID) &&
+		binary.BigEndian.Uint64(data[5:13]) == uint64(i) {
 		r.damaged[i] = Mark(binary.BigEndian.Uint64(data[13:21]))
 		r.mutated()
 		return nil
@@ -311,17 +324,19 @@ type RealReplica struct {
 	spec   AUSpec
 	salt   uint64
 	events uint32
+	gen    uint64
 	data   []byte
 	// damaged tracks which blocks were corrupted and with what mark, so
 	// Snapshot need not diff against the canonical content.
 	damaged map[int]Mark
 }
 
-// NewRealReplica materializes the publisher's canonical content for spec:
+// PublisherBytes materializes the publisher's canonical content for spec:
 // deterministic pseudo-random bytes derived from the AU ID, so every peer
-// starting from the publisher holds identical bytes. The salt individualizes
-// corruption, exactly as for SimReplica.
-func NewRealReplica(spec AUSpec, salt uint64) *RealReplica {
+// starting from the publisher holds identical bytes. The real node's
+// synthetic demo AUs and the durable store's ingest both derive publisher
+// content from this one function.
+func PublisherBytes(spec AUSpec) []byte {
 	data := make([]byte, spec.Size)
 	var seed [8]byte
 	binary.BigEndian.PutUint32(seed[:4], uint32(spec.ID))
@@ -331,7 +346,13 @@ func NewRealReplica(spec AUSpec, salt uint64) *RealReplica {
 		off += n
 		fill = sha256.Sum256(fill[:])
 	}
-	return &RealReplica{spec: spec, salt: salt, data: data, damaged: make(map[int]Mark)}
+	return data
+}
+
+// NewRealReplica starts a replica from the publisher's canonical content.
+// The salt individualizes corruption, exactly as for SimReplica.
+func NewRealReplica(spec AUSpec, salt uint64) *RealReplica {
+	return &RealReplica{spec: spec, salt: salt, data: PublisherBytes(spec), damaged: make(map[int]Mark)}
 }
 
 // Spec implements Replica.
@@ -379,9 +400,9 @@ func (r *RealReplica) canonicalBlock(i int) []byte {
 func (r *RealReplica) VoteHashes(nonce []byte) []Hash {
 	n := r.spec.Blocks()
 	out := make([]Hash, n)
-	v := newVoteHasher()
+	v := NewVoteHasher()
 	for i := 0; i < n; i++ {
-		out[i] = v.step(nonce, r.spec.ID, i, r.block(i))
+		out[i] = v.Step(nonce, r.spec.ID, i, r.block(i))
 	}
 	return out
 }
@@ -393,6 +414,25 @@ func (r *RealReplica) Snapshot() []DamageEntry {
 		out = append(out, DamageEntry{Block: i, Mark: m})
 	}
 	slices.SortFunc(out, func(a, b DamageEntry) int { return a.Block - b.Block })
+	return out
+}
+
+// CorruptBytes derives the deterministic corrupt content a damage event
+// with the given mark produces for a block: distinct marks yield distinct
+// bytes, so independently rotted replicas disagree with each other as well
+// as with the publisher. RealReplica.Damage and the on-disk store's Damage
+// share this one derivation.
+func CorruptBytes(mark Mark, block, n int) []byte {
+	out := make([]byte, n)
+	var seed [16]byte
+	binary.BigEndian.PutUint64(seed[0:8], uint64(mark))
+	binary.BigEndian.PutUint64(seed[8:16], uint64(block))
+	fill := sha256.Sum256(seed[:])
+	for off := 0; off < n; {
+		c := copy(out[off:], fill[:])
+		off += c
+		fill = sha256.Sum256(fill[:])
+	}
 	return out
 }
 
@@ -408,16 +448,9 @@ func (r *RealReplica) Damage(i int) bool {
 		mark = 1
 	}
 	b := r.block(i)
-	var seed [16]byte
-	binary.BigEndian.PutUint64(seed[0:8], uint64(mark))
-	binary.BigEndian.PutUint64(seed[8:16], uint64(i))
-	fill := sha256.Sum256(seed[:])
-	for off := 0; off < len(b); {
-		n := copy(b[off:], fill[:])
-		off += n
-		fill = sha256.Sum256(fill[:])
-	}
+	copy(b, CorruptBytes(mark, i, len(b)))
 	r.damaged[i] = mark
+	r.gen++
 	return true
 }
 
@@ -448,8 +481,12 @@ func (r *RealReplica) ApplyRepair(i int, data []byte) error {
 		r.events++
 		r.damaged[i] = Mark(r.salt<<20 | uint64(r.events))
 	}
+	r.gen++
 	return nil
 }
 
 // Damaged implements Replica.
 func (r *RealReplica) Damaged() bool { return len(r.damaged) > 0 }
+
+// Generation implements Replica.
+func (r *RealReplica) Generation() uint64 { return r.gen }

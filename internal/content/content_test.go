@@ -235,6 +235,83 @@ func TestRepairBlockOutOfRange(t *testing.T) {
 	}
 }
 
+// TestSimReplicaApplyRepairMalformed exercises the symbolic repair payload
+// validation: wrong sizes, wrong tags, and payloads minted for a different
+// AU or block must all be rejected without mutating the replica.
+func TestSimReplicaApplyRepairMalformed(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	r.Damage(2)
+	gen := r.Generation()
+	bad := [][]byte{
+		nil,                      // empty
+		[]byte("short"),          // wrong size entirely
+		make([]byte, 12),         // one byte short of a correct token
+		make([]byte, 14),         // one byte long of a correct token
+		make([]byte, 20),         // one byte short of a damage token
+		make([]byte, 22),         // one byte long of a damage token
+		damagedPayload(99, 2, 5), // damage token for another AU
+		damagedPayload(7, 3, 5),  // damage token for another block
+		correctPayload(99, 2),    // correct token for another AU
+		correctPayload(7, 1),     // correct token for another block
+	}
+	for _, data := range bad {
+		if err := r.ApplyRepair(2, data); err == nil {
+			t.Errorf("malformed payload %q accepted", data)
+		}
+	}
+	if r.Generation() != gen {
+		t.Error("rejected repairs mutated the replica")
+	}
+	if !r.Damaged() {
+		t.Error("rejected repairs cleared the damage mark")
+	}
+	// The matching token still heals.
+	if err := r.ApplyRepair(2, correctPayload(7, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if r.Damaged() {
+		t.Error("valid repair did not heal")
+	}
+}
+
+// TestSimReplicaRepairRoundTripErrors covers the RepairBlock/ApplyRepair
+// error paths on block indices outside the AU.
+func TestSimReplicaRepairRoundTripErrors(t *testing.T) {
+	r := NewSimReplica(testSpec(), 1)
+	for _, i := range []int{-1, 4, 1 << 20} {
+		if _, err := r.RepairBlock(i); err == nil {
+			t.Errorf("RepairBlock(%d) accepted", i)
+		}
+		if err := r.ApplyRepair(i, correctPayload(7, 0)); err == nil {
+			t.Errorf("ApplyRepair(%d) accepted", i)
+		}
+	}
+}
+
+func TestGenerationAdvancesOnMutation(t *testing.T) {
+	for _, r := range []Replica{NewSimReplica(testSpec(), 1), NewRealReplica(testSpec(), 1)} {
+		g0 := r.Generation()
+		r.Damage(1)
+		g1 := r.Generation()
+		if g1 == g0 {
+			t.Errorf("%T: Damage did not advance generation", r)
+		}
+		q := NewRealReplica(testSpec(), 2)
+		var data []byte
+		if _, ok := r.(*SimReplica); ok {
+			data = correctPayload(7, 1)
+		} else {
+			data = mustRepair(t, q, 1)
+		}
+		if err := r.ApplyRepair(1, data); err != nil {
+			t.Fatal(err)
+		}
+		if r.Generation() == g1 {
+			t.Errorf("%T: ApplyRepair did not advance generation", r)
+		}
+	}
+}
+
 func TestRedamageFreshMark(t *testing.T) {
 	r := NewSimReplica(testSpec(), 1)
 	r.Damage(0)

@@ -22,6 +22,7 @@ import (
 	"lockss/internal/protocol"
 	"lockss/internal/sched"
 	"lockss/internal/session"
+	"lockss/internal/store"
 	"lockss/internal/wire"
 )
 
@@ -82,6 +83,18 @@ type Config struct {
 	// is exhausted. Legitimate peers transparently redial on their next
 	// send. Default 5m.
 	InboundIdleTimeout time.Duration
+
+	// Store, if non-nil, is the durable on-disk AU store backing this
+	// node's replicas. The node owns its lifecycle from Start on: it runs
+	// the store's background scrubber (damage found on disk raises the
+	// AU's audit priority), surfaces its counters via StoreStats, and
+	// flushes and closes it during Stop — after every protocol goroutine
+	// has drained, so no callback can touch a closed store. Register the
+	// store's replicas with AddAU before Start, as with any replica.
+	Store *store.Store
+	// ScrubPace is the pause between scrubbed blocks (see
+	// store.ScrubConfig.Pace). Default 1s.
+	ScrubPace time.Duration
 }
 
 // Node is a running peer.
@@ -177,6 +190,17 @@ func (n *Node) Peer() *protocol.Peer { return n.peer }
 // with a running node.
 func (n *Node) TransportStats() TransportStats { return n.tr.stats() }
 
+// StoreStats snapshots the durable store's counters (blocks scanned,
+// verified, damaged and repaired, scrub passes, manifest writes). Zero when
+// the node runs without a store. Safe to call concurrently with a running
+// node.
+func (n *Node) StoreStats() store.Stats {
+	if n.cfg.Store == nil {
+		return store.Stats{}
+	}
+	return n.cfg.Store.Stats()
+}
+
 // AddAU registers a replica to preserve; see protocol.Peer.AddAU.
 func (n *Node) AddAU(replica content.Replica, refs []ids.PeerID) error {
 	return n.peer.AddAU(replica, refs)
@@ -237,6 +261,20 @@ func (n *Node) Start() error {
 	n.wg.Add(2)
 	go n.runLoop()
 	go n.acceptLoop()
+	if n.cfg.Store != nil {
+		// Scrub found damage on disk: raise the AU's audit priority on the
+		// actor loop so that if the in-flight poll fails to heal it, the
+		// retry comes a quarter interval later instead of a full one. The
+		// scrubber re-observes unrepaired damage every pass, re-raising the
+		// priority until a poll heals the block.
+		n.cfg.Store.StartScrub(store.ScrubConfig{
+			Pace: n.cfg.ScrubPace,
+			OnDamage: func(au content.AUID, block int) {
+				n.logf("scrub: AU %d block %d damaged on disk", au, block)
+				n.post(func() { n.peer.RaiseAuditPriority(au) })
+			},
+		})
+	}
 	n.post(func() { n.peer.Start() })
 	n.logf("listening on %v", l.Addr())
 	return nil
@@ -255,7 +293,9 @@ func (n *Node) Addr() net.Addr {
 // writer, cancelling dialCtx aborts in-flight dials, and closing tracked
 // sessions and mid-handshake raw conns unblocks reads, writes and
 // handshakes stalled on a wedged remote. Every goroutine the node spawns is
-// in n.wg, so when Wait returns nothing is left running.
+// in n.wg, so when Wait returns nothing is left running — only then is the
+// durable store (if any) flushed and closed, so no protocol callback or
+// scrub pass can race a closed block file.
 func (n *Node) Stop() {
 	n.stopped.Do(func() {
 		close(n.stop)
@@ -276,6 +316,13 @@ func (n *Node) Stop() {
 		n.mu.Unlock()
 	})
 	n.wg.Wait()
+	if n.cfg.Store != nil {
+		// Store.Close is idempotent (and remembers its first error), so
+		// repeated Stop calls are safe.
+		if err := n.cfg.Store.Close(); err != nil {
+			n.logf("store close: %v", err)
+		}
+	}
 }
 
 // runLoop is the actor goroutine: every protocol callback runs here.

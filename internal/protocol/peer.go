@@ -81,6 +81,11 @@ type auState struct {
 	// lastSuccess is the conclusion time of the last successful poll
 	// (negative when none yet).
 	lastSuccess sched.Time
+
+	// expedite requests that the next poll on this AU conclude early
+	// (RaiseAuditPriority): local evidence — a storage scrubber finding rot
+	// on disk — says the AU needs an audit sooner than the fixed cadence.
+	expedite bool
 }
 
 // Peer is a LOCKSS peer: it runs polls on its AUs as a poller and serves
@@ -281,6 +286,25 @@ func (p *Peer) SeedGrade(au content.AUID, peer ids.PeerID, g reputation.Grade) {
 		st.rep.Penalize(reputation.Time(now), peer)
 		st.rep.Raise(reputation.Time(now), peer)
 		st.rep.Raise(reputation.Time(now), peer)
+	}
+}
+
+// RaiseAuditPriority asks for the poll *after* the in-flight one on an AU
+// to be scheduled a quarter interval out instead of a full one. The real
+// node calls it when its storage scrubber finds damage on disk. A poll is
+// always in flight and its votes hash the actual stored bytes, so the
+// damage is under audit already; what this trims is the idle gap before the
+// retry when that poll fails to heal it (inquorate, repair-failed, or the
+// rot appeared too late in the window). The quarter-interval floor keeps
+// the paper's rate limitation biting — peers do not hurry under external
+// pressure, and this fires only on first-hand local evidence, which no
+// remote attacker controls. The request is consumed at the next poll
+// conclusion; callers with persistent damage (the scrubber re-observes it
+// every pass) simply raise it again. The simulator never calls this, so
+// simulation runs are unaffected.
+func (p *Peer) RaiseAuditPriority(au content.AUID) {
+	if st, ok := p.aus[au]; ok {
+		st.expedite = true
 	}
 }
 

@@ -462,10 +462,21 @@ func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
 
 	// Fixed-rate restart: the next poll concludes one interval after this
 	// poll's scheduled deadline, regardless of adversity (rate limitation:
-	// peers do not back off, nor hurry).
+	// peers do not back off, nor hurry). The one sanctioned exception is an
+	// expedited audit (RaiseAuditPriority): first-hand local evidence of
+	// on-disk damage pulls the next conclusion in to a quarter interval.
 	nextDeadline := poll.deadline + sched.Time(p.cfg.PollInterval)
 	if nextDeadline <= now {
 		nextDeadline = now + sched.Time(p.cfg.PollInterval)
+	}
+	// The expedite cut runs after the late-poll clamp: a poll that
+	// concluded behind schedule (a stall is exactly when damage tends to be
+	// outstanding) must not swallow the raised priority.
+	if st.expedite {
+		st.expedite = false
+		if exp := now + sched.Time(p.cfg.PollInterval/4); exp < nextDeadline {
+			nextDeadline = exp
+		}
 	}
 	st.poll = nil
 	p.releasePoll(poll)

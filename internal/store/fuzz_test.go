@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"lockss/internal/content"
+)
+
+// fuzzSeedManifests are valid encodings seeding the corpus.
+func fuzzSeedManifests() [][]byte {
+	var out [][]byte
+	for _, spec := range []content.AUSpec{
+		{ID: 1, Name: "a", Size: 1024, BlockSize: 1024},
+		{ID: 7, Name: "journal-2004", Size: 2500, BlockSize: 1024},
+		{ID: 0xFFFFFFFF, Name: "", Size: 0, BlockSize: 0},
+	} {
+		n := spec.Blocks()
+		m := &manifest{spec: spec, salt: 3, gen: 2, events: 1,
+			digests: make([]content.Hash, n), marks: make([]content.Mark, n)}
+		for i := range m.digests {
+			m.digests[i][0] = byte(i)
+			if i%2 == 1 {
+				m.marks[i] = content.Mark(i * 1000)
+			}
+		}
+		out = append(out, m.encode())
+	}
+	return out
+}
+
+// FuzzManifest drives decodeManifest with arbitrary bytes: it must never
+// panic, must reject every mutation of a valid manifest (the checksum covers
+// truncation and bit flips), and anything it accepts must re-encode to the
+// exact input (the format is canonical).
+func FuzzManifest(f *testing.F) {
+	for _, seed := range fuzzSeedManifests() {
+		f.Add(seed)
+		// Seed some classic corruptions so the interesting paths are in the
+		// corpus even before the fuzzer finds them.
+		if len(seed) > 16 {
+			f.Add(seed[:len(seed)-1]) // truncated tail
+			f.Add(seed[:8])           // truncated header
+			flip := append([]byte(nil), seed...)
+			flip[12] ^= 0x40
+			f.Add(flip) // bit flip
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeManifest(data)
+		if err != nil {
+			if m != nil {
+				t.Fatal("error with non-nil manifest")
+			}
+			return
+		}
+		re := m.encode()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted manifest is not canonical: %d in, %d out", len(data), len(re))
+		}
+		// An accepted manifest must also survive a field-level round trip.
+		m2, err := decodeManifest(re)
+		if err != nil {
+			t.Fatalf("re-encoded manifest rejected: %v", err)
+		}
+		if m2.spec != m.spec || len(m2.digests) != len(m.digests) {
+			t.Fatal("round trip changed the manifest")
+		}
+	})
+}
+
+// TestFuzzSeedCorpus runs the fuzz body over the seed corpus in normal `go
+// test` runs (the CI fuzz-corpus step also runs FuzzManifest explicitly).
+func TestFuzzSeedCorpus(t *testing.T) {
+	for _, seed := range fuzzSeedManifests() {
+		if _, err := decodeManifest(seed); err != nil {
+			t.Fatalf("seed manifest rejected: %v", err)
+		}
+		for off := 0; off < len(seed); off += 7 {
+			bad := append([]byte(nil), seed...)
+			bad[off] ^= 0x10
+			if _, err := decodeManifest(bad); err == nil {
+				t.Fatalf("bit flip at %d accepted", off)
+			}
+		}
+		for n := 0; n < len(seed); n += 11 {
+			if _, err := decodeManifest(seed[:n]); err == nil {
+				t.Fatalf("truncation to %d accepted", n)
+			}
+		}
+	}
+}

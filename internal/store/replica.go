@@ -1,0 +1,304 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sync"
+
+	"lockss/internal/content"
+)
+
+// Replica is one AU preserved on disk. It implements content.Replica: votes
+// hash the actual stored bytes (streamed block by block, never the whole AU
+// in memory), and repairs land through the crash-safe write path — block
+// bytes first, fsync, then the manifest atomically. Unlike the in-memory
+// implementations, a store Replica is safe for concurrent use: the node's
+// actor loop and the background scrubber serialize on an internal lock.
+type Replica struct {
+	st  *Store
+	dir string
+	man *manifest
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Spec implements content.Replica.
+func (r *Replica) Spec() content.AUSpec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.man.spec
+}
+
+// Generation implements content.Replica: the manifest's persisted mutation
+// counter, so vote caching keyed on it survives restarts coherently.
+func (r *Replica) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.man.gen
+}
+
+// VoteHashes implements content.Replica by streaming the block file through
+// the shared running-hash chain. The hashes cover whatever bytes are on disk
+// right now — a rotted block votes wrong, which is how polls catch damage
+// the scrubber has not reached yet.
+func (r *Replica) VoteHashes(nonce []byte) []content.Hash {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.man.spec.Blocks()
+	out := make([]content.Hash, n)
+	v := content.NewVoteHasher()
+	buf := make([]byte, r.man.spec.BlockSize)
+	for i := 0; i < n; i++ {
+		b, err := r.readBlockLocked(i, buf)
+		if err != nil {
+			// An unreadable block cannot vote its true content; hash an
+			// empty payload so the vote simply disagrees there (and the
+			// poll's repair machinery takes over), rather than panicking
+			// the protocol loop.
+			b = buf[:0]
+		}
+		out[i] = v.Step(nonce, r.man.spec.ID, i, b)
+	}
+	return out
+}
+
+// Snapshot implements content.Replica from the persisted damage marks.
+func (r *Replica) Snapshot() []content.DamageEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []content.DamageEntry
+	for i, m := range r.man.marks {
+		if m != 0 {
+			out = append(out, content.DamageEntry{Block: i, Mark: m})
+		}
+	}
+	return out
+}
+
+// Damaged implements content.Replica.
+func (r *Replica) Damaged() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.man.marks {
+		if m != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Damage implements content.Replica: overwrite block i on disk with
+// replica-unique pseudo-random corruption and persist the damage mark. This
+// is *marked* damage (the replica knows it is damaged) — demos of silent rot
+// use Store.InjectDamage instead.
+func (r *Replica) Damage(i int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= r.man.spec.Blocks() {
+		return false
+	}
+	mark := r.freshMarkLocked()
+	lo, hi := blockRange(r.man.spec, i)
+	b := content.CorruptBytes(mark, i, int(hi-lo))
+	if err := r.writeBlockLocked(i, b); err != nil {
+		return false
+	}
+	r.man.marks[i] = mark
+	r.man.gen++
+	// A failed persist leaves the mark memory-only; the bytes on disk are
+	// corrupt regardless, and a scrub pass after a crash re-derives the
+	// mark, so the damage itself cannot be lost.
+	_ = r.persistLocked()
+	return true
+}
+
+// RepairBlock implements content.Replica: the repair payload is the block's
+// current bytes on disk (correct if this replica is undamaged at i).
+func (r *Replica) RepairBlock(i int) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= r.man.spec.Blocks() {
+		return nil, fmt.Errorf("store: repair block %d out of range for %v", i, r.man.spec)
+	}
+	return r.readBlockLocked(i, nil)
+}
+
+// ApplyRepair implements content.Replica through the crash-safe write path:
+// the block bytes are written and fsynced first, then the manifest is
+// replaced atomically. A crash between the two leaves the old manifest — the
+// block still marked damaged — and the next scrub pass observes the healed
+// bytes and clears the mark. Repair data that does not match the ingest
+// digest is still written (the poll's landslide majority outranks our local
+// history) but the block stays marked, with a fresh mark, so scrubbing and
+// future polls keep pursuing it.
+func (r *Replica) ApplyRepair(i int, data []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= r.man.spec.Blocks() {
+		return fmt.Errorf("store: repair block %d out of range for %v", i, r.man.spec)
+	}
+	lo, hi := blockRange(r.man.spec, i)
+	if int64(len(data)) != hi-lo {
+		return fmt.Errorf("store: repair for block %d has %d bytes, want %d", i, len(data), hi-lo)
+	}
+	if err := r.writeBlockLocked(i, data); err != nil {
+		return err
+	}
+	sum := content.Hash(sha256.Sum256(data))
+	healed := false
+	if sum == r.man.digests[i] {
+		healed = r.man.marks[i] != 0
+		r.man.marks[i] = 0
+	} else {
+		r.man.marks[i] = r.freshMarkLocked()
+	}
+	r.man.gen++
+	if err := r.persistLocked(); err != nil {
+		return err
+	}
+	if healed {
+		r.st.blocksRepaired.Add(1)
+	}
+	return nil
+}
+
+// verifyBlock reads block i, hashes it, and compares against the manifest.
+// With mark set, a mismatch records a fresh damage mark (persisted) and a
+// match clears a stale one — the scrubber's write side. A mark change that
+// fails to persist is rolled back and reported as an error, so counters and
+// OnDamage never claim durability the disk refused; the next pass retries.
+// It returns whether the block verified and whether the manifest now marks
+// it damaged.
+func (r *Replica) verifyBlock(i int, mark bool) (ok, marked bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, err := r.readBlockLocked(i, nil)
+	if err != nil {
+		return false, r.man.marks[i] != 0, err
+	}
+	sum := content.Hash(sha256.Sum256(b))
+	ok = sum == r.man.digests[i]
+	if mark {
+		switch {
+		case !ok && r.man.marks[i] == 0:
+			prevEvents := r.man.events
+			r.man.marks[i] = r.freshMarkLocked()
+			r.man.gen++
+			if err := r.persistLocked(); err != nil {
+				r.man.marks[i] = 0
+				r.man.gen--
+				r.man.events = prevEvents
+				return ok, false, err
+			}
+			r.st.blocksDamaged.Add(1)
+		case ok && r.man.marks[i] != 0:
+			// The bytes verify but the manifest says damaged: a repair (or
+			// a crash-interrupted one) healed the block before the manifest
+			// caught up. Complete it.
+			prev := r.man.marks[i]
+			r.man.marks[i] = 0
+			r.man.gen++
+			if err := r.persistLocked(); err != nil {
+				r.man.marks[i] = prev
+				r.man.gen--
+				return ok, true, err
+			}
+			r.st.blocksRepaired.Add(1)
+		}
+	}
+	return ok, r.man.marks[i] != 0, nil
+}
+
+// injectDamage flips the bits of one byte in the middle of the block,
+// touching neither marks nor manifest.
+func (r *Replica) injectDamage(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= r.man.spec.Blocks() {
+		return fmt.Errorf("store: inject block %d out of range for %v", i, r.man.spec)
+	}
+	if r.f == nil {
+		return fmt.Errorf("store: AU %v is closed", r.man.spec.ID)
+	}
+	lo, hi := blockRange(r.man.spec, i)
+	off := lo + (hi-lo)/2
+	var b [1]byte
+	if _, err := r.f.ReadAt(b[:], off); err != nil {
+		return fmt.Errorf("store: inject damage: %w", err)
+	}
+	b[0] ^= 0xFF
+	if _, err := r.f.WriteAt(b[:], off); err != nil {
+		return fmt.Errorf("store: inject damage: %w", err)
+	}
+	return r.f.Sync()
+}
+
+// freshMarkLocked derives a new replica-unique damage mark and persists the
+// event counter with the next manifest write.
+func (r *Replica) freshMarkLocked() content.Mark {
+	r.man.events++
+	m := content.Mark(r.man.salt<<20 | uint64(r.man.events))
+	if m == 0 {
+		m = 1
+	}
+	return m
+}
+
+// readBlockLocked reads block i into buf (grown as needed).
+func (r *Replica) readBlockLocked(i int, buf []byte) ([]byte, error) {
+	if r.f == nil {
+		return nil, fmt.Errorf("store: AU %v is closed", r.man.spec.ID)
+	}
+	lo, hi := blockRange(r.man.spec, i)
+	n := int(hi - lo)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := r.f.ReadAt(buf, lo); err != nil {
+		return nil, fmt.Errorf("store: read block %d of %v: %w", i, r.man.spec, err)
+	}
+	return buf, nil
+}
+
+// writeBlockLocked writes and fsyncs block i's bytes.
+func (r *Replica) writeBlockLocked(i int, b []byte) error {
+	if r.f == nil {
+		return fmt.Errorf("store: AU %v is closed", r.man.spec.ID)
+	}
+	lo, _ := blockRange(r.man.spec, i)
+	if _, err := r.f.WriteAt(b, lo); err != nil {
+		return fmt.Errorf("store: write block %d of %v: %w", i, r.man.spec, err)
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("store: sync block %d of %v: %w", i, r.man.spec, err)
+	}
+	return nil
+}
+
+// persistLocked writes the manifest atomically.
+func (r *Replica) persistLocked() error {
+	if err := writeManifest(r.dir, r.man); err != nil {
+		return err
+	}
+	r.st.manifestWrites.Add(1)
+	return nil
+}
+
+// close flushes and closes the block file.
+func (r *Replica) close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.f == nil {
+		return nil
+	}
+	syncErr := r.f.Sync()
+	closeErr := r.f.Close()
+	r.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

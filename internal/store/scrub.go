@@ -1,0 +1,112 @@
+package store
+
+import (
+	"time"
+
+	"lockss/internal/content"
+)
+
+// ScrubConfig paces the background scrubber.
+type ScrubConfig struct {
+	// Pace is the pause between consecutive block verifications. Scrubbing
+	// is deliberately slow — the paper's threat is rot over decades, and a
+	// scrubber that saturates the disk starves the node it serves. Demos
+	// and tests turn it down. Default 1s.
+	Pace time.Duration
+	// PassPause is the extra rest between full passes over the store.
+	// Default 10x Pace.
+	PassPause time.Duration
+	// OnDamage, if non-nil, is called for every damaged block each pass
+	// observes — newly marked or still unrepaired — so the node can keep
+	// the AU's audit priority raised until the damage is gone. It runs on
+	// the scrubber goroutine (outside all store locks) and must not block:
+	// a wedged callback wedges the pass and, through StopScrub, Close.
+	OnDamage func(au content.AUID, block int)
+}
+
+// withDefaults fills zero fields.
+func (c ScrubConfig) withDefaults() ScrubConfig {
+	if c.Pace <= 0 {
+		c.Pace = time.Second
+	}
+	if c.PassPause <= 0 {
+		c.PassPause = 10 * c.Pace
+	}
+	return c
+}
+
+// StartScrub launches the background scrubber: an endless, paced, sequential
+// verification of every block of every AU against its manifest. Mismatched
+// blocks gain a persisted damage mark (raising their audit priority through
+// OnDamage); marked blocks whose bytes verify again — a repair that landed,
+// or a crash-interrupted repair whose manifest write never happened — have
+// their marks cleared. At most one scrubber runs per store; a second call is
+// a no-op while one is active.
+func (s *Store) StartScrub(cfg ScrubConfig) {
+	cfg = cfg.withDefaults()
+	s.mu.Lock()
+	if s.scrubStop != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	s.scrubStop = stop
+	s.mu.Unlock()
+
+	s.scrubWG.Add(1)
+	go s.scrubLoop(cfg, stop)
+}
+
+// StopScrub halts the scrubber and waits for it to exit. Safe to call when
+// none is running.
+func (s *Store) StopScrub() {
+	s.mu.Lock()
+	stop := s.scrubStop
+	s.scrubStop = nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+	}
+	s.scrubWG.Wait()
+}
+
+// scrubLoop is the scrubber goroutine.
+func (s *Store) scrubLoop(cfg ScrubConfig, stop chan struct{}) {
+	defer s.scrubWG.Done()
+	pace := time.NewTimer(cfg.Pace)
+	defer pace.Stop()
+	wait := func(d time.Duration) bool {
+		pace.Reset(d)
+		select {
+		case <-stop:
+			return false
+		case <-pace.C:
+			return true
+		}
+	}
+	for {
+		for _, r := range s.Replicas() {
+			spec := r.Spec()
+			for i := 0; i < spec.Blocks(); i++ {
+				if !wait(cfg.Pace) {
+					return
+				}
+				ok, marked, err := r.verifyBlock(i, true)
+				s.blocksScanned.Add(1)
+				if err != nil {
+					continue // unreadable now; retried next pass
+				}
+				if ok && !marked {
+					s.blocksVerified.Add(1)
+				}
+				if marked && cfg.OnDamage != nil {
+					cfg.OnDamage(spec.ID, i)
+				}
+			}
+		}
+		s.scrubPasses.Add(1)
+		if !wait(cfg.PassPause) {
+			return
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lockss/internal/content"
+)
+
+// Stats counts store activity. All counters are cumulative since Open.
+type Stats struct {
+	// BlocksScanned is how many blocks the scrubber has read and hashed.
+	BlocksScanned uint64
+	// BlocksVerified is the subset of scans that matched their manifest
+	// digest.
+	BlocksVerified uint64
+	// BlocksDamaged is how many blocks the scrubber newly marked damaged.
+	BlocksDamaged uint64
+	// BlocksRepaired is how many marked blocks were healed back to their
+	// manifest digest — by an applied repair, or by a scrub pass finding a
+	// crash-interrupted repair that had written the bytes but not yet the
+	// manifest.
+	BlocksRepaired uint64
+	// ScrubPasses counts completed full passes over every AU.
+	ScrubPasses uint64
+	// ManifestWrites counts atomic manifest replacements.
+	ManifestWrites uint64
+	// DamageInjected counts InjectDamage bit flips.
+	DamageInjected uint64
+}
+
+// Store is a durable collection of AU replicas rooted at one directory.
+// Stores are safe for concurrent use: the node's actor loop and the
+// background scrubber both reach replicas through per-replica locks.
+type Store struct {
+	root string
+
+	mu    sync.Mutex
+	aus   map[content.AUID]*Replica
+	order []content.AUID
+
+	scrubStop chan struct{}
+	scrubWG   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
+
+	blocksScanned  atomic.Uint64
+	blocksVerified atomic.Uint64
+	blocksDamaged  atomic.Uint64
+	blocksRepaired atomic.Uint64
+	scrubPasses    atomic.Uint64
+	manifestWrites atomic.Uint64
+	damageInjected atomic.Uint64
+}
+
+// Open loads (or creates) a store rooted at dir. Every au-* subdirectory
+// with a valid manifest is loaded; a directory missing its manifest is a
+// crash-interrupted ingest and is skipped (re-ingesting the AU overwrites
+// it), but a *corrupt* manifest is an error — it means bytes rotted in
+// place, and silently dropping the AU would defeat the whole point.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s := &Store{root: dir, aus: make(map[content.AUID]*Replica)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	var dirs []string
+	for _, e := range entries {
+		if e.IsDir() && len(e.Name()) > 3 && e.Name()[:3] == "au-" {
+			dirs = append(dirs, e.Name())
+		}
+	}
+	sort.Strings(dirs)
+	// On any failure, close the block files of replicas already loaded —
+	// the caller gets no Store to Close, so they would leak.
+	closeLoaded := func() {
+		for _, r := range s.aus {
+			r.close()
+		}
+	}
+	for _, name := range dirs {
+		auDir := filepath.Join(dir, name)
+		man, err := readManifest(auDir)
+		if os.IsNotExist(err) {
+			continue // ingest died before the manifest existed; not an AU yet
+		}
+		if err != nil {
+			closeLoaded()
+			return nil, err
+		}
+		r, err := s.openReplica(auDir, man)
+		if err != nil {
+			closeLoaded()
+			return nil, err
+		}
+		if _, dup := s.aus[man.spec.ID]; dup {
+			r.close()
+			closeLoaded()
+			return nil, fmt.Errorf("store: duplicate AU %v in %s", man.spec.ID, auDir)
+		}
+		s.aus[man.spec.ID] = r
+		s.order = append(s.order, man.spec.ID)
+	}
+	return s, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// auDir returns the directory for one AU.
+func (s *Store) auDir(id content.AUID) string {
+	return filepath.Join(s.root, fmt.Sprintf("au-%08d", id))
+}
+
+// Create ingests one AU: data is the publisher's content for spec (its
+// length must equal spec.Size). Block bytes are written and fsynced before
+// the manifest that vouches for them, so a crash mid-ingest leaves a
+// directory without a manifest — invisible to Open — rather than an AU with
+// unvouched bytes. The salt individualizes this replica's damage marks.
+func (s *Store) Create(spec content.AUSpec, salt uint64, data []byte) (*Replica, error) {
+	if int64(len(data)) != spec.Size {
+		return nil, fmt.Errorf("store: AU %v content is %d bytes, spec says %d", spec.ID, len(data), spec.Size)
+	}
+	if len(spec.Name) > maxNameLen {
+		return nil, fmt.Errorf("store: AU %v name exceeds %d bytes", spec.ID, maxNameLen)
+	}
+	if spec.Blocks() > maxBlocks {
+		return nil, fmt.Errorf("store: AU %v has %d blocks, limit %d", spec.ID, spec.Blocks(), maxBlocks)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.aus[spec.ID]; dup {
+		return nil, fmt.Errorf("store: duplicate AU %v", spec.ID)
+	}
+	dir := s.auDir(spec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create AU %v: %w", spec.ID, err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, blocksName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: create AU %v: %w", spec.ID, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: write AU %v: %w", spec.ID, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync AU %v: %w", spec.ID, err)
+	}
+	n := spec.Blocks()
+	man := &manifest{spec: spec, salt: salt, digests: make([]content.Hash, n), marks: make([]content.Mark, n)}
+	for i := 0; i < n; i++ {
+		lo, hi := blockRange(spec, i)
+		man.digests[i] = sha256.Sum256(data[lo:hi])
+	}
+	if err := writeManifest(dir, man); err != nil {
+		f.Close()
+		return nil, err
+	}
+	// The au-<id> dirent itself lives in the store root; sync it too, or a
+	// power loss after Create returns could drop the whole AU directory.
+	if err := syncDir(s.root); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: sync root for AU %v: %w", spec.ID, err)
+	}
+	s.manifestWrites.Add(1)
+	r := &Replica{st: s, dir: dir, f: f, man: man}
+	s.aus[spec.ID] = r
+	s.order = append(s.order, spec.ID)
+	return r, nil
+}
+
+// openReplica opens an AU directory already vouched for by man.
+func (s *Store) openReplica(dir string, man *manifest) (*Replica, error) {
+	f, err := os.OpenFile(filepath.Join(dir, blocksName), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open AU %v: %w", man.spec.ID, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: open AU %v: %w", man.spec.ID, err)
+	}
+	if fi.Size() != man.spec.Size {
+		f.Close()
+		return nil, fmt.Errorf("store: AU %v block file is %d bytes, manifest says %d", man.spec.ID, fi.Size(), man.spec.Size)
+	}
+	return &Replica{st: s, dir: dir, f: f, man: man}, nil
+}
+
+// Replica returns the store's replica of an AU, or nil.
+func (s *Store) Replica(id content.AUID) *Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.aus[id]
+}
+
+// Replicas returns every replica in AU-ID registration order.
+func (s *Store) Replicas() []*Replica {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Replica, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.aus[id])
+	}
+	return out
+}
+
+// AUs returns the stored AU IDs in registration order.
+func (s *Store) AUs() []content.AUID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]content.AUID, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// InjectDamage flips bits on disk in one block, bypassing the manifest and
+// the damage marks entirely — silent corruption, exactly what decades of
+// storage produce. The scrubber (or an audit poll) has to find it the honest
+// way. Demos and the corruption-repair CI job drive this through
+// `lockss-node -inject-damage`.
+func (s *Store) InjectDamage(id content.AUID, block int) error {
+	r := s.Replica(id)
+	if r == nil {
+		return fmt.Errorf("store: no AU %v", id)
+	}
+	if err := r.injectDamage(block); err != nil {
+		return err
+	}
+	s.damageInjected.Add(1)
+	return nil
+}
+
+// Damage identifies one damaged block found by verification.
+type Damage struct {
+	AU    content.AUID
+	Block int
+	// Marked reports whether the manifest already records the damage (a
+	// scrub or a failed repair has seen it) or the verification found it
+	// silently rotted.
+	Marked bool
+}
+
+// VerifyAll reads and hashes every block of every AU against its manifest,
+// returning all mismatches. A nil slice with a nil error means the whole
+// store verifies.
+func (s *Store) VerifyAll() ([]Damage, error) {
+	var out []Damage
+	for _, r := range s.Replicas() {
+		spec := r.Spec()
+		for i := 0; i < spec.Blocks(); i++ {
+			ok, marked, err := r.verifyBlock(i, false)
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				out = append(out, Damage{AU: spec.ID, Block: i, Marked: marked})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		BlocksScanned:  s.blocksScanned.Load(),
+		BlocksVerified: s.blocksVerified.Load(),
+		BlocksDamaged:  s.blocksDamaged.Load(),
+		BlocksRepaired: s.blocksRepaired.Load(),
+		ScrubPasses:    s.scrubPasses.Load(),
+		ManifestWrites: s.manifestWrites.Load(),
+		DamageInjected: s.damageInjected.Load(),
+	}
+}
+
+// Close stops the scrubber, then flushes and closes every block file. It is
+// idempotent; the first error encountered is returned every time.
+func (s *Store) Close() error {
+	s.closeOnce.Do(func() {
+		s.StopScrub()
+		for _, r := range s.Replicas() {
+			if err := r.close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+// blockRange returns the byte range [lo, hi) of block i within an AU.
+func blockRange(spec content.AUSpec, i int) (lo, hi int64) {
+	if spec.BlockSize <= 0 {
+		return 0, spec.Size
+	}
+	lo = int64(i) * spec.BlockSize
+	hi = lo + spec.BlockSize
+	if hi > spec.Size {
+		hi = spec.Size
+	}
+	return lo, hi
+}
