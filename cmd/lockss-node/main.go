@@ -62,6 +62,7 @@ import (
 	"lockss/internal/reputation"
 	"lockss/internal/sched"
 	"lockss/internal/store"
+	"lockss/internal/trace"
 )
 
 // logObserver prints protocol milestones.
@@ -250,6 +251,7 @@ func main() {
 		verify    = flag.Bool("verify-store", false, "verify every block in -data-dir against its manifest and exit")
 		scrubPace = flag.Duration("scrub-pace", time.Second, "pause between background scrub block verifications")
 		statsIvl  = flag.Duration("stats-interval", 0, "print a one-line stats snapshot this often (0 = only at exit)")
+		record    = flag.String("record", "", "record this node's protocol event stream to a trace.jsonl for offline replay (lockss-replay)")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("lockss-node[%d] ", *id))
@@ -336,6 +338,9 @@ func main() {
 		}
 	}
 
+	// injected collects every block corrupted at startup (-inject-damage and
+	// -rot) so a recorded trace can reproduce the starting damage state.
+	var injected []trace.DamageRef
 	if *inject != "" {
 		au, block, err := parseInjection(*inject)
 		if err != nil {
@@ -351,7 +356,27 @@ func main() {
 		if err := st.InjectDamage(au, block); err != nil {
 			log.Fatal(err)
 		}
+		injected = append(injected, trace.DamageRef{AU: au, Block: block})
 		log.Printf("injected silent bit rot on disk: AU %d block %d", au, block)
+	}
+
+	// Trace recording: the recorder taps the node's event stream and tees
+	// into the observer chain, so one file captures both the inputs driving
+	// the state machine and its observable outputs.
+	var (
+		rec     *trace.Recorder
+		recFile *os.File
+	)
+	var tap protocol.EnvTap
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		recFile = f
+		rec = trace.NewRecorder(f)
+		tap = rec
+		obs = protocol.TeeObserver(rec, obs)
 	}
 
 	nd, err := node.New(node.Config{
@@ -364,6 +389,7 @@ func main() {
 		EffortUnit:        0.05,
 		Seed:              uint64(*id) * 7919,
 		Observer:          obs,
+		Tap:               tap,
 		SendQueue:         *sendQ,
 		MaxInbound:        *maxIn,
 		MaxInboundPerAddr: *maxInIP,
@@ -379,15 +405,20 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var refs []ids.PeerID
+	// Reference lists come from the address book in sorted order — a
+	// deterministic order is what lets a recorded trace reproduce the
+	// peer's bootstrap state exactly.
+	refs := make([]ids.PeerID, 0, len(book))
 	for p := range book {
 		refs = append(refs, p)
 	}
+	sort.Slice(refs, func(i, j int) bool { return refs[i] < refs[j] })
 	for _, replica := range replicas {
 		spec := replica.Spec()
 		if *rot {
 			block := rand.Intn(spec.Blocks())
 			replica.Damage(block)
+			injected = append(injected, trace.DamageRef{AU: spec.ID, Block: block})
 			log.Printf("simulated bit rot: AU %d block %d corrupted", spec.ID, block)
 		}
 		if err := nd.AddAU(replica, refs); err != nil {
@@ -398,6 +429,43 @@ func main() {
 		}
 	}
 	nd.SetFriends(refs)
+
+	if rec != nil {
+		hdr := trace.Header{
+			Peer:       ids.PeerID(*id),
+			Seed:       uint64(*id) * 7919,
+			StartT:     time.Now().UnixNano(),
+			Protocol:   pcfg,
+			Costs:      costs,
+			MBF:        effort.DefaultMBFParams(),
+			EffortUnit: 0.05,
+			Friends:    refs,
+			Injected:   injected,
+		}
+		grades := make([]trace.GradeRef, 0, len(refs))
+		for _, r := range refs {
+			grades = append(grades, trace.GradeRef{Peer: r, Grade: uint8(reputation.Even)})
+		}
+		for _, replica := range replicas {
+			spec := replica.Spec()
+			hdr.AUs = append(hdr.AUs, trace.AUHeader{
+				ID:        spec.ID,
+				Name:      spec.Name,
+				Size:      spec.Size,
+				BlockSize: spec.BlockSize,
+				// The salt only individualizes corruption marks; replayed
+				// corrupt bytes differ from the recorded node's either way
+				// (see the trace package's determinism contract).
+				Salt:   uint64(*id)<<16 | uint64(spec.ID),
+				Refs:   refs,
+				Grades: grades,
+			})
+		}
+		if err := rec.WriteHeader(hdr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("recording trace to %s", *record)
+	}
 
 	if err := nd.Start(); err != nil {
 		log.Fatal(err)
@@ -441,6 +509,15 @@ func main() {
 	log.Printf("shutting down")
 	close(statsDone)
 	nd.Stop()
+	if rec != nil {
+		// The node has fully drained: no tap callback can still be running.
+		if err := rec.Close(); err != nil {
+			log.Printf("trace recording failed: %v", err)
+		} else {
+			log.Printf("trace recorded to %s", *record)
+		}
+		recFile.Close()
+	}
 
 	pst := nd.Peer().Stats()
 	log.Printf("polls: ok=%d inquorate=%d inconclusive=%d repair-failed=%d; votes supplied=%d; repairs served=%d",

@@ -309,9 +309,48 @@ func (s *Scenario) layersForPt(o Options, pt Point) int {
 	return 1
 }
 
+// Points expands the scenario's sweep grid for the given options. It is the
+// exported face of grid, used by external drivers (internal/harness) that
+// execute points on alternative backends.
+func (s *Scenario) Points(o Options) ([]Point, error) { return s.grid(o) }
+
+// ConfigAt builds the world configuration for one grid point: base, then
+// mutators, then axis applications. External drivers may further override the
+// returned value before running it.
+func (s *Scenario) ConfigAt(o Options, pt Point) world.Config { return s.config(o, pt) }
+
+// RunPointOn executes one grid cell on the engine with a caller-supplied
+// configuration (normally ConfigAt plus driver overrides). It is the exported
+// face of the standard per-point executor.
+func (s *Scenario) RunPointOn(ctx context.Context, e *Engine, o Options, pt Point, cfg world.Config) (PointResult, error) {
+	return s.runPointWith(ctx, e, o, pt, cfg)
+}
+
+// Render renders a completed result with the scenario's table renderer (the
+// custom one when defined, the generic table otherwise).
+func (s *Scenario) Render(o Options, res *Result) []*Table {
+	if s.Tables != nil {
+		return s.Tables(o, res)
+	}
+	return []*Table{s.genericTable(o, res)}
+}
+
+// GenericTable renders a result with the generic per-point renderer
+// regardless of the scenario's custom Tables hook. Custom renderers may
+// assume comparison data that alternative execution backends (baseline-only
+// cluster runs) do not produce; the generic renderer tolerates its absence,
+// so cross-backend drivers render both sides through it.
+func (s *Scenario) GenericTable(o Options, res *Result) *Table {
+	return s.genericTable(o, res)
+}
+
 // runPoint executes one grid cell on the engine.
 func (s *Scenario) runPoint(ctx context.Context, e *Engine, o Options, pt Point) (PointResult, error) {
-	cfg := s.config(o, pt)
+	return s.runPointWith(ctx, e, o, pt, s.config(o, pt))
+}
+
+// runPointWith executes one grid cell with a prebuilt configuration.
+func (s *Scenario) runPointWith(ctx context.Context, e *Engine, o Options, pt Point, cfg world.Config) (PointResult, error) {
 	if s.RunPoint != nil {
 		pr, err := s.RunPoint(ctx, e, o, cfg, pt)
 		pr.Point = pt

@@ -1,0 +1,180 @@
+package harness
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lockss/internal/content"
+	"lockss/internal/ids"
+	"lockss/internal/node"
+	"lockss/internal/reputation"
+	"lockss/internal/store"
+)
+
+// buildDemoCluster assembles (without starting) an N-node loopback cluster
+// over on-disk stores, all preserving one copy of spec, fully meshed with
+// Even grades. Per-node customization (taps, observers) goes through mod.
+func buildDemoCluster(t *testing.T, n int, spec content.AUSpec, mod func(i int, cfg *node.Config)) (nodes []*node.Node, stores []*store.Store, dirs []string) {
+	t.Helper()
+	nodes = make([]*node.Node, n)
+	stores = make([]*store.Store, n)
+	dirs = make([]string, n)
+	for i := 0; i < n; i++ {
+		dirs[i] = filepath.Join(t.TempDir(), "data")
+		st, err := store.Open(dirs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = st
+		replica, err := st.Create(spec, uint64(i+1), content.PublisherBytes(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := node.Config{
+			ID:         ids.PeerID(i + 1),
+			Listen:     "127.0.0.1:0",
+			Protocol:   demoProtocolConfig(),
+			Costs:      demoCosts(),
+			MBF:        demoMBF(),
+			EffortUnit: 0.05,
+			Seed:       uint64(2000 + i),
+			Store:      st,
+			ScrubPace:  10 * time.Millisecond,
+		}
+		if mod != nil {
+			mod(i, &cfg)
+		}
+		nd, err := node.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = nd
+
+		var refs []ids.PeerID
+		for j := 0; j < n; j++ {
+			if j != i {
+				refs = append(refs, ids.PeerID(j+1))
+			}
+		}
+		if err := nd.AddAU(replica, refs); err != nil {
+			t.Fatal(err)
+		}
+		nd.SetFriends(refs)
+		for _, r := range refs {
+			nd.Peer().SeedGrade(spec.ID, r, reputation.Even)
+		}
+	}
+	return nodes, stores, dirs
+}
+
+// startDemoCluster starts every node and exchanges addresses.
+func startDemoCluster(t *testing.T, nodes []*node.Node) {
+	t.Helper()
+	for _, n := range nodes {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		addr := n.Addr().String()
+		for _, m := range nodes {
+			m.SetAddress(ids.PeerID(i+1), addr)
+		}
+	}
+}
+
+// TestClusterRepairsDurableStore is the durable-storage acceptance test
+// (ported from the node package onto the harness helpers): a real TCP
+// cluster whose replicas live in on-disk stores. One node suffers *silent*
+// bit rot (injected directly into its block file, manifest untouched); its
+// scrubber must find and mark the damage, and the audit protocol must
+// confirm it against the other nodes' votes and repair the actual bytes on
+// disk — after which the store is reopened from disk and every manifest
+// verifies.
+func TestClusterRepairsDurableStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test")
+	}
+	const N = 6
+	spec := content.AUSpec{ID: 1, Name: "au-durable", Size: 128 << 10, BlockSize: 32 << 10}
+	obs := &countObserver{}
+	nodes, stores, dirs := buildDemoCluster(t, N, spec, func(i int, cfg *node.Config) {
+		cfg.Observer = obs
+	})
+
+	// Node 0's disk rots silently at block 2 before the cluster starts:
+	// real bits flip in blocks.dat, the manifest still vouches for the old
+	// content, and no damage mark exists anywhere.
+	if err := stores[0].InjectDamage(spec.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+	if stores[0].Replica(spec.ID).Damaged() {
+		t.Fatal("injected damage must be silent")
+	}
+
+	startDemoCluster(t, nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		if !WaitFor(45*time.Second, 100*time.Millisecond, cond) {
+			succ, other, repairs := obs.snapshot()
+			t.Fatalf("%s did not happen in time (polls ok=%d other=%d repairs=%d, store0 %+v)",
+				what, succ, other, repairs, nodes[0].StoreStats())
+		}
+	}
+
+	// Phase 1: the scrubber finds the silent rot and marks it.
+	waitFor("scrub detection", func() bool {
+		return nodes[0].StoreStats().BlocksDamaged >= 1
+	})
+
+	// Phase 2: polls confirm the damage against the cluster and repair the
+	// bytes on disk; the whole store verifies again.
+	waitFor("poll-driven repair", func() bool {
+		dam, err := stores[0].VerifyAll()
+		return err == nil && dam == nil && !stores[0].Replica(spec.ID).Damaged()
+	})
+	if _, _, repairs := obs.snapshot(); repairs == 0 {
+		t.Error("no RepairApplied event observed")
+	}
+	if st := nodes[0].StoreStats(); st.BlocksRepaired == 0 {
+		t.Errorf("store counters show no repair: %+v", st)
+	}
+
+	// Bounded shutdown with a store to flush: Stop must return promptly and
+	// close the store exactly once.
+	done := make(chan struct{})
+	go func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("Stop with durable stores did not return in time")
+	}
+
+	// Durability: reopen every store from disk; every manifest must verify.
+	for i, dir := range dirs {
+		re, err := store.Open(dir)
+		if err != nil {
+			t.Fatalf("node %d store not loadable after shutdown: %v", i, err)
+		}
+		dam, err := re.VerifyAll()
+		if err != nil {
+			t.Fatalf("node %d store verify: %v", i, err)
+		}
+		if dam != nil {
+			t.Errorf("node %d store has damage after repair+shutdown: %v", i, dam)
+		}
+		re.Close()
+	}
+}

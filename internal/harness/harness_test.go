@@ -1,0 +1,211 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/experiment"
+	"lockss/internal/ids"
+	"lockss/internal/protocol"
+	"lockss/internal/sched"
+	"lockss/internal/sim"
+	"lockss/internal/world"
+)
+
+// demoProtocolConfig compresses the protocol's preservation timescales to
+// sub-second units so an audit-and-repair round completes inside a test.
+// (Kept in sync with the node package's internal demo configuration.)
+func demoProtocolConfig() protocol.Config {
+	cfg := protocol.DefaultConfig()
+	cfg.Quorum = 3
+	cfg.InnerCircle = 5
+	cfg.MaxDisagree = 1
+	cfg.OuterCircle = 2
+	cfg.Nominations = 3
+	cfg.PollInterval = 1500 * time.Millisecond
+	cfg.VoteWindow = 700 * time.Millisecond
+	cfg.AckTimeout = 250 * time.Millisecond
+	cfg.ProofTimeout = 150 * time.Millisecond
+	cfg.VoteSlack = 300 * time.Millisecond
+	cfg.ReceiptSlack = 500 * time.Millisecond
+	cfg.RepairTimeout = 400 * time.Millisecond
+	cfg.Refractory = 200 * time.Millisecond
+	cfg.GradeDecay = time.Hour
+	cfg.FrivolousRepairProb = 0
+	cfg.RefListTarget = 5
+	cfg.RefListMax = 8
+	cfg.ConsiderBurst = 64
+	cfg.BlockSize = 32 << 10
+	return cfg
+}
+
+// demoCosts makes effort scheduling negligible against the compressed
+// timescales while remaining non-zero.
+func demoCosts() effort.CostModel {
+	m := effort.DefaultCostModel()
+	m.HashBytesPerSec = 64 << 30
+	m.SessionSetup = 1e-6
+	m.ScheduleCheck = 1e-6
+	m.ReceiptCheck = 1e-6
+	return m
+}
+
+// demoMBF is the small proof parameterization every cluster test uses.
+func demoMBF() effort.MBFParams {
+	return effort.MBFParams{TableWords: 1 << 12, Steps: 1 << 10, Checkpoints: 8, VerifySegments: 2, Seed: 7}
+}
+
+// countObserver tallies protocol events thread-safely.
+type countObserver struct {
+	mu        sync.Mutex
+	succeeded int
+	other     int
+	repairs   int
+}
+
+func (o *countObserver) PollConcluded(p ids.PeerID, au content.AUID, out protocol.Outcome, now sched.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if out == protocol.OutcomeSuccess {
+		o.succeeded++
+	} else {
+		o.other++
+	}
+}
+func (o *countObserver) Alarm(ids.PeerID, content.AUID, sched.Time) {}
+func (o *countObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.repairs++
+}
+func (o *countObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+
+func (o *countObserver) snapshot() (succ, other, repairs int) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.succeeded, o.other, o.repairs
+}
+
+// demoOverride shrinks a scenario's paper-scale configuration to cluster
+// scale: six nodes, one small AU, demo-compressed protocol timescales, and a
+// damage process fast enough to exercise repair inside the horizon. The
+// sweep axis has already applied to cfg.Protocol, so the toggles the axes
+// touch are preserved across the wholesale protocol replacement.
+func demoOverride(horizon time.Duration) func(*world.Config) {
+	return func(cfg *world.Config) {
+		p := demoProtocolConfig()
+		p.Introductions = cfg.Protocol.Introductions
+		p.Desynchronize = cfg.Protocol.Desynchronize
+		cfg.Protocol = p
+		costs := demoCosts()
+		cfg.Costs = &costs
+		cfg.HashBytesPerSec = 0
+		cfg.Seed = 12345
+		cfg.Peers = 6
+		cfg.AUs = 1
+		cfg.AUSize = 128 << 10
+		cfg.Friends = 3
+		cfg.AUsPerDisk = 1
+		// Mean silent-damage gap per node ≈ 6 wall seconds.
+		cfg.DamageDiskYears = 6 * float64(time.Second) / float64(sim.Year)
+		cfg.SeedAllEven = true
+		cfg.Duration = sim.Duration(horizon)
+	}
+}
+
+// TestCrossValidationIntroductions is the sim/real convergence test: the
+// registered ablation-introductions scenario runs on both backends with the
+// identical cluster-scale configuration, and the resulting health metrics
+// must agree within loose tolerances. The simulator models an idealized
+// network; the cluster runs real TCP, real stores and real MBF proofs — so
+// the comparison checks orders of magnitude and signs, not decimals.
+func TestCrossValidationIntroductions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test")
+	}
+	s, ok := experiment.Lookup("ablation-introductions")
+	if !ok {
+		t.Fatal("scenario ablation-introductions not registered")
+	}
+	o := experiment.Options{Scale: experiment.ScaleTiny, Seeds: 1}
+	override := demoOverride(12 * time.Second)
+	ctx := context.Background()
+
+	simRes, err := RunScenario(ctx, s, o, &SimBackend{BaselineOnly: true}, override)
+	if err != nil {
+		t.Fatalf("sim backend: %v", err)
+	}
+	cluRes, err := RunScenario(ctx, s, o, &ClusterBackend{}, override)
+	if err != nil {
+		t.Fatalf("cluster backend: %v", err)
+	}
+
+	if len(simRes.Points) != len(cluRes.Points) || len(simRes.Points) == 0 {
+		t.Fatalf("point counts differ: sim %d, cluster %d", len(simRes.Points), len(cluRes.Points))
+	}
+	for i := range simRes.Points {
+		ss := simRes.Points[i].Stats
+		cs := cluRes.Points[i].Stats
+		label := s.Axes[0].Format(simRes.Points[i].Point.At(0))
+		t.Logf("introductions=%s sim:  polls-ok=%.0f/%.0f afp=%.3f repairs=%.0f",
+			label, ss.SuccessfulPolls, ss.TotalPolls, ss.AccessFailure, ss.RepairsFixed)
+		t.Logf("introductions=%s real: polls-ok=%.0f/%.0f afp=%.3f repairs=%.0f",
+			label, cs.SuccessfulPolls, cs.TotalPolls, cs.AccessFailure, cs.RepairsFixed)
+
+		if ss.SuccessfulPolls == 0 {
+			t.Errorf("point %d: simulator completed no successful polls", i)
+		}
+		if cs.SuccessfulPolls == 0 {
+			t.Errorf("point %d: cluster completed no successful polls", i)
+		}
+		if ss.SuccessfulPolls > 0 && cs.SuccessfulPolls > 0 {
+			ratio := cs.SuccessfulPolls / ss.SuccessfulPolls
+			if ratio < 0.2 || ratio > 5 {
+				t.Errorf("point %d: poll-rate ratio cluster/sim = %.2f outside [0.2, 5]", i, ratio)
+			}
+		}
+		if d := math.Abs(cs.AccessFailure - ss.AccessFailure); d > 0.25 {
+			t.Errorf("point %d: access-failure disagrees by %.3f (sim %.3f, cluster %.3f)",
+				i, d, ss.AccessFailure, cs.AccessFailure)
+		}
+	}
+
+	// Both results render through the same generic table without panicking,
+	// comparison columns or not.
+	if tab := Table(s, o, simRes); tab == nil || len(tab.Rows) == 0 {
+		t.Error("sim result rendered an empty table")
+	}
+	if tab := Table(s, o, cluRes); tab == nil || len(tab.Rows) == 0 {
+		t.Error("cluster result rendered an empty table")
+	}
+}
+
+// TestClusterBackendRejectsOversizedConfigs pins the guard rails: cluster
+// execution refuses paper-scale populations rather than forking a hundred
+// OS processes' worth of goroutines.
+func TestClusterBackendRejectsOversizedConfigs(t *testing.T) {
+	cfg := world.Default() // 100 peers, 50 AUs, 512 MB
+	_, err := RunCluster(context.Background(), cfg, ClusterConfig{})
+	if err == nil {
+		t.Fatal("paper-scale config accepted by the cluster backend")
+	}
+}
+
+// TestWaitFor pins the condition-poll helper's contract.
+func TestWaitFor(t *testing.T) {
+	if !WaitFor(time.Second, time.Millisecond, func() bool { return true }) {
+		t.Error("immediately-true condition reported false")
+	}
+	var n int
+	if !WaitFor(time.Second, time.Millisecond, func() bool { n++; return n > 3 }) {
+		t.Error("eventually-true condition reported false")
+	}
+	if WaitFor(10*time.Millisecond, time.Millisecond, func() bool { return false }) {
+		t.Error("never-true condition reported true")
+	}
+}

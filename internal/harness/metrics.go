@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"math"
+	"sync"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/experiment"
+	"lockss/internal/ids"
+	"lockss/internal/metrics"
+	"lockss/internal/protocol"
+	"lockss/internal/sched"
+	"lockss/internal/sim"
+)
+
+// lockedCollector adapts the single-goroutine metrics.Collector to a cluster
+// of real nodes: one mutex serializes observer events arriving from every
+// node's actor loop, and wall-clock timestamps are rebased to the cluster
+// start so the collector's time integrals (which divide by absolute end
+// time) measure the run, not the Unix epoch.
+type lockedCollector struct {
+	mu sync.Mutex
+	c  *metrics.Collector
+	t0 sched.Time
+}
+
+func newLockedCollector(replicas int) *lockedCollector {
+	return &lockedCollector{c: metrics.NewCollectorSized(replicas)}
+}
+
+// setStart pins the cluster-relative time origin. Call before starting any
+// node.
+func (l *lockedCollector) setStart(t0 sched.Time) {
+	l.mu.Lock()
+	l.t0 = t0
+	l.mu.Unlock()
+}
+
+// rel rebases a wall timestamp; callers hold l.mu.
+func (l *lockedCollector) rel(now sched.Time) sched.Time {
+	if now < l.t0 {
+		return 0
+	}
+	return now - l.t0
+}
+
+// RegisterReplica mirrors metrics.Collector.RegisterReplica.
+func (l *lockedCollector) RegisterReplica(peer ids.PeerID, au content.AUID, r content.Replica) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.RegisterReplica(peer, au, r)
+}
+
+// OnDamage mirrors metrics.Collector.OnDamage. The caller must already hold
+// the replica's owning actor loop (the damage drivers apply damage via
+// Inspect), so the collector's replica.Damaged() probe cannot race.
+func (l *lockedCollector) OnDamage(peer ids.PeerID, au content.AUID, now sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.OnDamage(peer, au, l.rel(now))
+}
+
+// PollConcluded implements protocol.Observer.
+func (l *lockedCollector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.Outcome, now sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.PollConcluded(peer, au, o, l.rel(now))
+}
+
+// Alarm implements protocol.Observer.
+func (l *lockedCollector) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.Alarm(peer, au, l.rel(now))
+}
+
+// RepairApplied implements protocol.Observer.
+func (l *lockedCollector) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.RepairApplied(peer, au, block, l.rel(now))
+}
+
+// VoteSupplied implements protocol.Observer.
+func (l *lockedCollector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.VoteSupplied(voter, poller, au, l.rel(now))
+}
+
+// Finalize integrates the tail of the run.
+func (l *lockedCollector) Finalize(end sched.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.Finalize(l.rel(end))
+}
+
+// stats extracts RunStats, converting wall-denominated times back into
+// virtual time by the compression factor K (dimensionless metrics pass
+// through unchanged).
+func (l *lockedCollector) stats(k float64, defender effort.Seconds) experiment.RunStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s experiment.RunStats
+	s.AccessFailure = l.c.AccessFailureProbability()
+	if gap, ok := l.c.MeanSuccessInterval(); ok {
+		s.MeanSuccessGap = gap * k / float64(sim.Day)
+	} else {
+		s.MeanSuccessGap = math.Inf(1)
+	}
+	s.SuccessfulPolls = float64(l.c.SuccessfulPolls())
+	s.TotalPolls = float64(l.c.TotalPolls())
+	s.DefenderEffort = float64(defender)
+	if s.SuccessfulPolls > 0 {
+		s.EffortPerPoll = s.DefenderEffort / s.SuccessfulPolls
+	}
+	s.Alarms = float64(l.c.Alarms)
+	s.DamageEvents = float64(l.c.DamageEvents)
+	s.RepairsFixed = float64(l.c.RepairsFixed)
+	return s
+}
+
+var _ protocol.Observer = (*lockedCollector)(nil)

@@ -1,0 +1,189 @@
+package harness
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"lockss/internal/content"
+	"lockss/internal/ids"
+	"lockss/internal/node"
+	"lockss/internal/protocol"
+	"lockss/internal/reputation"
+	"lockss/internal/trace"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"re-record the golden trace from a live cluster and rewrite testdata/traces")
+
+const (
+	goldenTrace  = "testdata/traces/cluster-repair.trace.jsonl"
+	goldenReport = "testdata/traces/cluster-repair.report.golden"
+)
+
+// recordClusterTrace runs the standard damaged-node cluster with node 1
+// recording, waits for the scrub→audit→repair cycle to complete on the
+// recorded node, and returns the serialized trace.
+func recordClusterTrace(t *testing.T) []byte {
+	const N = 6
+	spec := content.AUSpec{ID: 1, Name: "au-trace", Size: 128 << 10, BlockSize: 32 << 10}
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	obs := &countObserver{}
+	nodes, stores, _ := buildDemoCluster(t, N, spec, func(i int, cfg *node.Config) {
+		if i == 0 {
+			cfg.Tap = rec
+			cfg.Observer = protocol.TeeObserver(rec, obs)
+		} else {
+			cfg.Observer = obs
+		}
+	})
+
+	// Silent rot on the recorded node, before anything runs.
+	if err := stores[0].InjectDamage(spec.ID, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The header mirrors node 1's bootstrap exactly as buildDemoCluster
+	// performed it: seed 2000+0, salt 1, full-mesh refs, Even grades.
+	refs := []ids.PeerID{2, 3, 4, 5, 6}
+	grades := make([]trace.GradeRef, len(refs))
+	for i, r := range refs {
+		grades[i] = trace.GradeRef{Peer: r, Grade: uint8(reputation.Even)}
+	}
+	hdr := trace.Header{
+		Peer:       1,
+		Seed:       2000,
+		StartT:     time.Now().UnixNano(),
+		Protocol:   demoProtocolConfig(),
+		Costs:      demoCosts(),
+		MBF:        demoMBF(),
+		EffortUnit: 0.05,
+		Friends:    refs,
+		AUs: []trace.AUHeader{{
+			ID: spec.ID, Name: spec.Name, Size: spec.Size, BlockSize: spec.BlockSize,
+			Salt: 1, Refs: refs, Grades: grades,
+		}},
+		Injected: []trace.DamageRef{{AU: spec.ID, Block: 2}},
+	}
+	if err := rec.WriteHeader(hdr); err != nil {
+		t.Fatal(err)
+	}
+
+	startDemoCluster(t, nodes)
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	if !WaitFor(45*time.Second, 100*time.Millisecond, func() bool {
+		dam, err := stores[0].VerifyAll()
+		return err == nil && dam == nil && !stores[0].Replica(spec.ID).Damaged()
+	}) {
+		succ, other, repairs := obs.snapshot()
+		t.Fatalf("recorded node never repaired (polls ok=%d other=%d repairs=%d)", succ, other, repairs)
+	}
+	// Grace period so the repairing poll's conclusion (receipt round) lands
+	// in the trace; this pads the recording, it gates nothing.
+	time.Sleep(2 * time.Second)
+
+	// Stop the recorded node first so its trace ends at a quiet point.
+	for _, n := range nodes {
+		n.Stop()
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("recorder: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// assertReplayMatches replays raw twice and requires (a) no divergence from
+// the recording and (b) byte-identical reports across the two replays.
+func assertReplayMatches(t *testing.T, raw []byte) *trace.Result {
+	t.Helper()
+	tr, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trace.Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged() {
+		t.Fatalf("replay diverged from recording:\n%s", res.Report())
+	}
+	tr2, err := trace.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := trace.Replay(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report() != res2.Report() {
+		t.Fatal("two replays of the same trace produced different reports")
+	}
+	return res
+}
+
+// TestClusterRecordReplayLive is the end-to-end determinism check: record a
+// real cluster run (TCP, stores, scrub, MBF proofs), then re-execute the
+// recorded node's event stream offline and require identical observable
+// behavior — every send, poll outcome, repair and alarm, in order.
+func TestClusterRecordReplayLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test")
+	}
+	raw := recordClusterTrace(t)
+	res := assertReplayMatches(t, raw)
+	if res.Inputs == 0 || len(res.Recorded) == 0 {
+		t.Errorf("trace is trivial: %d inputs, %d outputs", res.Inputs, len(res.Recorded))
+	}
+	var sawRepair bool
+	for _, k := range res.Recorded {
+		if k == "repair au=1 block=2" {
+			sawRepair = true
+		}
+	}
+	if !sawRepair {
+		t.Errorf("recorded outputs never repaired au 1 block 2: %v", res.Recorded)
+	}
+}
+
+// TestGoldenTraceReplay replays the committed golden trace and pins the
+// replayed poll/repair event sequence byte-for-byte. It needs no cluster and
+// runs in the short suite; regenerate the artifacts with -update-golden
+// after an intentional protocol change.
+func TestGoldenTraceReplay(t *testing.T) {
+	if *updateGolden {
+		raw := recordClusterTrace(t)
+		res := assertReplayMatches(t, raw)
+		if err := os.MkdirAll(filepath.Dir(goldenTrace), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenTrace, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenReport, []byte(res.Report()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes) and %s", goldenTrace, len(raw), goldenReport)
+	}
+	raw, err := os.ReadFile(goldenTrace)
+	if err != nil {
+		t.Fatalf("golden trace missing (regenerate with -update-golden): %v", err)
+	}
+	res := assertReplayMatches(t, raw)
+	golden, err := os.ReadFile(goldenReport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report() != string(golden) {
+		t.Errorf("replayed event sequence diverged from the pinned golden report:\n--- got ---\n%s--- want ---\n%s",
+			res.Report(), golden)
+	}
+}

@@ -1,0 +1,27 @@
+package harness
+
+import "time"
+
+// WaitFor polls cond every interval until it returns true or the deadline
+// passes, reporting whether the condition was met. It replaces fixed-sleep
+// convergence waits in cluster tests: the wait ends the moment the condition
+// holds, and a slow machine gets the full deadline instead of a flake.
+func WaitFor(timeout, interval time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			if cond() {
+				return true
+			}
+		case <-deadline.C:
+			return cond()
+		}
+	}
+}

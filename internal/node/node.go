@@ -48,6 +48,11 @@ type Config struct {
 	Seed uint64
 	// Observer receives protocol events (may be nil).
 	Observer protocol.Observer
+	// Tap, if non-nil, observes the exact event stream driving the protocol
+	// state machine — decoded inbound frames, live timer firings, outbound
+	// messages, scrub-detected damage — synchronously on the actor loop, in
+	// execution order. Trace recording (internal/trace) hangs off this hook.
+	Tap protocol.EnvTap
 	// Logf, if non-nil, receives diagnostic logs.
 	Logf func(format string, args ...any)
 
@@ -271,7 +276,12 @@ func (n *Node) Start() error {
 			Pace: n.cfg.ScrubPace,
 			OnDamage: func(au content.AUID, block int) {
 				n.logf("scrub: AU %d block %d damaged on disk", au, block)
-				n.post(func() { n.peer.RaiseAuditPriority(au) })
+				n.post(func() {
+					if n.cfg.Tap != nil {
+						n.cfg.Tap.DamageNoticed(au, block, (*env)(n).Now())
+					}
+					n.peer.RaiseAuditPriority(au)
+				})
 			},
 		})
 	}
@@ -438,7 +448,14 @@ func (n *Node) readLoop(conn *session.Conn) {
 			return
 		}
 		from := senderOf(m)
-		n.post(func() { n.peer.Receive(from, m) })
+		// session.ReadMsg returns a fresh buffer per frame, so the tap may
+		// retain frame without copying.
+		n.post(func() {
+			if n.cfg.Tap != nil {
+				n.cfg.Tap.MsgIn(from, frame, m, (*env)(n).Now())
+			}
+			n.peer.Receive(from, m)
+		})
 	}
 }
 
@@ -482,6 +499,11 @@ func (e *env) After(d sched.Duration, fn func()) protocol.TimerID {
 			delete(n.timers, id)
 			n.tmu.Unlock()
 			if live {
+				// Cancelled timers never reach here, so the tap records
+				// exactly the firings that drove the state machine.
+				if n.cfg.Tap != nil {
+					n.cfg.Tap.TimerFired(id, e.Now())
+				}
 				fn()
 			}
 		})
@@ -512,6 +534,9 @@ func (e *env) Rand() *prng.Source { return e.rnd }
 // the encoded buffer travels to the per-peer writer. The call never blocks:
 // a full queue drops the message (transport.go).
 func (e *env) Send(to ids.PeerID, m *protocol.Msg) {
+	if e.cfg.Tap != nil {
+		e.cfg.Tap.MsgOut(to, m, e.Now())
+	}
 	(*Node)(e).tr.send(to, m)
 }
 

@@ -1,179 +1,18 @@
 package node
 
 import (
-	"path/filepath"
 	"testing"
-	"time"
 
 	"lockss/internal/content"
 	"lockss/internal/effort"
 	"lockss/internal/ids"
 	"lockss/internal/protocol"
-	"lockss/internal/reputation"
 	"lockss/internal/store"
 )
 
-// TestClusterRepairsDurableStore is the durable-storage acceptance test: a
-// real TCP cluster whose replicas live in on-disk stores. One node suffers
-// *silent* bit rot (injected directly into its block file, manifest
-// untouched); its scrubber must find and mark the damage, and the audit
-// protocol must confirm it against the other nodes' votes and repair the
-// actual bytes on disk — after which the store is reopened from disk and
-// every manifest verifies.
-func TestClusterRepairsDurableStore(t *testing.T) {
-	if testing.Short() {
-		t.Skip("real-time cluster test")
-	}
-	const N = 6
-	spec := content.AUSpec{ID: 1, Name: "au-durable", Size: 128 << 10, BlockSize: 32 << 10}
-	mbf := effort.MBFParams{TableWords: 1 << 12, Steps: 1 << 10, Checkpoints: 8, VerifySegments: 2, Seed: 7}
-	obs := &testObserver{}
-
-	book := make(map[ids.PeerID]string)
-	nodes := make([]*Node, N)
-	stores := make([]*store.Store, N)
-	dirs := make([]string, N)
-
-	for i := 0; i < N; i++ {
-		dirs[i] = filepath.Join(t.TempDir(), "data")
-		st, err := store.Open(dirs[i])
-		if err != nil {
-			t.Fatal(err)
-		}
-		stores[i] = st
-		replica, err := st.Create(spec, uint64(i+1), content.PublisherBytes(spec))
-		if err != nil {
-			t.Fatal(err)
-		}
-		id := ids.PeerID(i + 1)
-		n, err := New(Config{
-			ID:          id,
-			Listen:      "127.0.0.1:0",
-			AddressBook: book,
-			Protocol:    demoProtocolConfig(),
-			Costs:       demoCosts(),
-			MBF:         mbf,
-			EffortUnit:  0.05,
-			Seed:        uint64(2000 + i),
-			Observer:    obs,
-			Store:       st,
-			ScrubPace:   10 * time.Millisecond,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		nodes[i] = n
-
-		var refs []ids.PeerID
-		for j := 0; j < N; j++ {
-			if j != i {
-				refs = append(refs, ids.PeerID(j+1))
-			}
-		}
-		if err := n.AddAU(replica, refs); err != nil {
-			t.Fatal(err)
-		}
-		n.SetFriends(refs)
-		for _, r := range refs {
-			n.Peer().SeedGrade(spec.ID, r, reputation.Even)
-		}
-	}
-
-	// Node 0's disk rots silently at block 2 before the cluster starts:
-	// real bits flip in blocks.dat, the manifest still vouches for the old
-	// content, and no damage mark exists anywhere.
-	if err := stores[0].InjectDamage(spec.ID, 2); err != nil {
-		t.Fatal(err)
-	}
-	if stores[0].Replica(spec.ID).Damaged() {
-		t.Fatal("injected damage must be silent")
-	}
-
-	for _, n := range nodes {
-		if err := n.Start(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for i, n := range nodes {
-		addr := n.Addr().String()
-		for _, m := range nodes {
-			m.SetAddress(ids.PeerID(i+1), addr)
-		}
-	}
-	defer func() {
-		for _, n := range nodes {
-			n.Stop()
-		}
-	}()
-
-	waitFor := func(what string, cond func() bool) {
-		t.Helper()
-		deadline := time.After(45 * time.Second)
-		tick := time.NewTicker(100 * time.Millisecond)
-		defer tick.Stop()
-		for {
-			select {
-			case <-tick.C:
-				if cond() {
-					return
-				}
-			case <-deadline:
-				succ, other, repairs := obs.snapshot()
-				t.Fatalf("%s did not happen in time (polls ok=%d other=%d repairs=%d, store0 %+v)",
-					what, succ, other, repairs, nodes[0].StoreStats())
-			}
-		}
-	}
-
-	// Phase 1: the scrubber finds the silent rot and marks it.
-	waitFor("scrub detection", func() bool {
-		return nodes[0].StoreStats().BlocksDamaged >= 1
-	})
-
-	// Phase 2: polls confirm the damage against the cluster and repair the
-	// bytes on disk; the whole store verifies again.
-	waitFor("poll-driven repair", func() bool {
-		dam, err := stores[0].VerifyAll()
-		return err == nil && dam == nil && !stores[0].Replica(spec.ID).Damaged()
-	})
-	if _, _, repairs := obs.snapshot(); repairs == 0 {
-		t.Error("no RepairApplied event observed")
-	}
-	if st := nodes[0].StoreStats(); st.BlocksRepaired == 0 {
-		t.Errorf("store counters show no repair: %+v", st)
-	}
-
-	// Bounded shutdown with a store to flush: Stop must return promptly and
-	// close the store exactly once.
-	done := make(chan struct{})
-	go func() {
-		for _, n := range nodes {
-			n.Stop()
-		}
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(15 * time.Second):
-		t.Fatal("Stop with durable stores did not return in time")
-	}
-
-	// Durability: reopen every store from disk; every manifest must verify.
-	for i, dir := range dirs {
-		re, err := store.Open(dir)
-		if err != nil {
-			t.Fatalf("node %d store not loadable after shutdown: %v", i, err)
-		}
-		dam, err := re.VerifyAll()
-		if err != nil {
-			t.Fatalf("node %d store verify: %v", i, err)
-		}
-		if dam != nil {
-			t.Errorf("node %d store has damage after repair+shutdown: %v", i, dam)
-		}
-		re.Close()
-	}
-}
+// The durable-storage acceptance test (a real cluster repairing silent
+// on-disk rot) lives in internal/harness as TestClusterRepairsDurableStore,
+// built on the harness's exported cluster helpers.
 
 // TestStoreStatsWithoutStore: a storeless node reports zero store stats and
 // stops cleanly (the store lifecycle hooks must be no-ops).

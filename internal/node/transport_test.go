@@ -17,6 +17,23 @@ import (
 // testMBF keeps proof tables tiny so nodes construct instantly.
 var testMBF = effort.MBFParams{TableWords: 1 << 12, Steps: 1 << 10, Checkpoints: 8, VerifySegments: 2, Seed: 7}
 
+// waitUntil polls cond every interval until it returns true or the deadline
+// passes, reporting whether the condition was met. It mirrors
+// harness.WaitFor, which node tests cannot import without a cycle.
+func waitUntil(timeout, interval time.Duration, cond func() bool) bool {
+	if cond() {
+		return true
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		time.Sleep(interval)
+		if cond() {
+			return true
+		}
+	}
+	return cond()
+}
+
 // newTestNode builds an unstarted node with compressed timescales and any
 // zero Config fields filled with test-friendly values.
 func newTestNode(t *testing.T, cfg Config) *Node {
@@ -152,16 +169,11 @@ func TestUnreachablePeerBackoff(t *testing.T) {
 	for i := 0; i < sends; i++ {
 		n.tr.send(9, m)
 	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	if !waitUntil(10*time.Second, 5*time.Millisecond, func() bool {
 		st := n.TransportStats()
-		if st.Drops >= sends && st.DialFailures >= 1 && st.Dials >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("counters never converged: %+v", st)
-		}
-		time.Sleep(5 * time.Millisecond)
+		return st.Drops >= sends && st.DialFailures >= 1 && st.Dials >= 1
+	}) {
+		t.Fatalf("counters never converged: %+v", n.TransportStats())
 	}
 
 	done := make(chan struct{})
@@ -234,12 +246,10 @@ func TestInboundPerAddrHandshakeCap(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer stuck.Close()
-	deadline := time.Now().Add(10 * time.Second)
-	for n.TransportStats().InboundAccepted < 1 {
-		if time.Now().After(deadline) {
-			t.Fatal("first connection never admitted")
-		}
-		time.Sleep(2 * time.Millisecond)
+	if !waitUntil(10*time.Second, 2*time.Millisecond, func() bool {
+		return n.TransportStats().InboundAccepted >= 1
+	}) {
+		t.Fatal("first connection never admitted")
 	}
 
 	raw, err := net.Dial("tcp", addr)
@@ -301,22 +311,20 @@ func TestInboundIdleReclaim(t *testing.T) {
 	defer mute.Close()
 
 	// Once the idle reaper fires, a fresh session must be admitted.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	if !waitUntil(10*time.Second, 25*time.Millisecond, func() bool {
 		raw, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		c, err := session.Client(raw)
-		if err == nil {
-			c.Close()
-			break // slot was reclaimed
+		if err != nil {
+			raw.Close()
+			return false
 		}
-		raw.Close()
-		if time.Now().After(deadline) {
-			t.Fatal("idle inbound session never reaped; admission slot still parked")
-		}
-		time.Sleep(25 * time.Millisecond)
+		c.Close()
+		return true // slot was reclaimed
+	}) {
+		t.Fatal("idle inbound session never reaped; admission slot still parked")
 	}
 }
 
@@ -447,13 +455,14 @@ func TestStopPromptWhileWriteWedged(t *testing.T) {
 	})
 	// 256 KiB frames overwhelm the socket buffers quickly.
 	m := &protocol.Msg{Type: protocol.MsgRepair, AU: 1, PollID: 1, Poller: 1, Voter: 9, Block: 0, RepairData: make([]byte, 256<<10)}
-	deadline := time.Now().Add(15 * time.Second)
-	for n.TransportStats().DropsQueueFull == 0 {
-		if time.Now().After(deadline) {
-			t.Fatalf("writer never wedged: %+v", n.TransportStats())
+	if !waitUntil(15*time.Second, time.Millisecond, func() bool {
+		if n.TransportStats().DropsQueueFull > 0 {
+			return true
 		}
 		n.tr.send(9, m)
-		time.Sleep(time.Millisecond)
+		return false
+	}) {
+		t.Fatalf("writer never wedged: %+v", n.TransportStats())
 	}
 
 	done := make(chan struct{})
@@ -531,20 +540,12 @@ func TestClusterSurvivesStalledPeer(t *testing.T) {
 	}
 
 	// Polls must conclude successfully despite the wedged reference peer.
-	deadline := time.After(45 * time.Second)
-	tick := time.NewTicker(250 * time.Millisecond)
-	defer tick.Stop()
-waiting:
-	for {
-		select {
-		case <-tick.C:
-			if succ, _, _ := obs.snapshot(); succ >= N {
-				break waiting
-			}
-		case <-deadline:
-			succ, other, _ := obs.snapshot()
-			t.Fatalf("cluster wedged: polls ok=%d other=%d (want ok >= %d)", succ, other, N)
-		}
+	if !waitUntil(45*time.Second, 250*time.Millisecond, func() bool {
+		succ, _, _ := obs.snapshot()
+		return succ >= N
+	}) {
+		succ, other, _ := obs.snapshot()
+		t.Fatalf("cluster wedged: polls ok=%d other=%d (want ok >= %d)", succ, other, N)
 	}
 
 	if w.connections() == 0 {

@@ -46,6 +46,28 @@ type Env interface {
 	EvalReceipt(ctx []byte, p effort.Proof) (r effort.Receipt, ok bool)
 }
 
+// EnvTap observes the inputs an Env feeds into a Peer, plus the messages the
+// Peer hands back to the Env for transmission. A tap sees exactly the event
+// stream that determines the peer's state evolution, in execution order, so a
+// recording of these events suffices to replay the peer deterministically.
+// All methods are called synchronously on the peer's execution context (the
+// node actor loop); implementations must be cheap and must not call back into
+// the peer.
+type EnvTap interface {
+	// MsgIn fires after a frame is decoded and immediately before it is
+	// delivered to Peer.Receive. frame is the decoded wire payload; the tap
+	// may retain it.
+	MsgIn(from ids.PeerID, frame []byte, m *Msg, now sched.Time)
+	// TimerFired fires when a live timer's callback is about to run.
+	// Cancelled timers are never reported.
+	TimerFired(id TimerID, now sched.Time)
+	// MsgOut fires when the peer asks the Env to transmit a message.
+	MsgOut(to ids.PeerID, m *Msg, now sched.Time)
+	// DamageNoticed fires when local storage damage is detected (scrub) and
+	// is about to be raised to the peer via RaiseAuditPriority.
+	DamageNoticed(au content.AUID, block int, now sched.Time)
+}
+
 // Outcome classifies how a poll concluded.
 type Outcome uint8
 
@@ -105,3 +127,45 @@ func (NopObserver) RepairApplied(ids.PeerID, content.AUID, int, sched.Time) {}
 
 // VoteSupplied implements Observer.
 func (NopObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+
+// TeeObserver fans protocol events out to several observers in order. Nil
+// entries are skipped.
+func TeeObserver(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return teeObserver(kept)
+}
+
+type teeObserver []Observer
+
+// PollConcluded implements Observer.
+func (t teeObserver) PollConcluded(p ids.PeerID, au content.AUID, o Outcome, now sched.Time) {
+	for _, ob := range t {
+		ob.PollConcluded(p, au, o, now)
+	}
+}
+
+// Alarm implements Observer.
+func (t teeObserver) Alarm(p ids.PeerID, au content.AUID, now sched.Time) {
+	for _, ob := range t {
+		ob.Alarm(p, au, now)
+	}
+}
+
+// RepairApplied implements Observer.
+func (t teeObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
+	for _, ob := range t {
+		ob.RepairApplied(p, au, block, now)
+	}
+}
+
+// VoteSupplied implements Observer.
+func (t teeObserver) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
+	for _, ob := range t {
+		ob.VoteSupplied(voter, poller, au, now)
+	}
+}

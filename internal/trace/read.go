@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"lockss/internal/wire"
+)
+
+// Read parses and validates a trace stream: the header line, then every
+// record in strict logical-clock order, with each recv frame checked against
+// the wire codec so a validated trace is guaranteed replayable. Truncated,
+// corrupt or reordered input returns an error; it never panics.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), MaxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	var t Trace
+	if err := json.Unmarshal(sc.Bytes(), &t.Header); err != nil {
+		return nil, fmt.Errorf("trace: parse header: %w", err)
+	}
+	if err := t.Header.validate(); err != nil {
+		return nil, err
+	}
+	var prevSeq uint64
+	for line := 2; sc.Scan(); line++ {
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue // tolerate a trailing blank line
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: parse: %w", line, err)
+		}
+		if err := rec.validate(&t.Header, prevSeq); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Kind == KindRecv {
+			if _, err := wire.Decode(rec.Frame); err != nil {
+				return nil, fmt.Errorf("trace: line %d: recv frame does not decode: %w", line, err)
+			}
+		}
+		prevSeq = rec.Seq
+		t.Events = append(t.Events, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return &t, nil
+}
+
+// ReadFile reads and validates a trace file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -47,6 +47,10 @@ type Config struct {
 	// HashBytesPerSec overrides the cost model's hashing throughput when
 	// positive (ablations use it to raise peer busyness).
 	HashBytesPerSec float64
+	// Costs, when non-nil, replaces the default cost model wholesale (the
+	// cross-backend harness uses it to charge simulated peers the same costs
+	// a real node would). HashBytesPerSec still applies on top.
+	Costs *effort.CostModel
 	// Duration is the simulated horizon.
 	Duration sim.Duration
 }
@@ -180,6 +184,9 @@ func New(cfg Config) (*World, error) {
 	}
 
 	costs := effort.DefaultCostModel()
+	if cfg.Costs != nil {
+		costs = *cfg.Costs
+	}
 	if cfg.HashBytesPerSec > 0 {
 		costs.HashBytesPerSec = cfg.HashBytesPerSec
 	}
