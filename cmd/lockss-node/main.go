@@ -27,7 +27,11 @@
 //
 // Observability: -stats-interval prints a one-line snapshot (polls,
 // transport counters, store scrub/damage/repair counters) on a cadence, so
-// long-running demos are observable before their exit statistics.
+// long-running demos are observable before their exit statistics. -admin
+// embeds an HTTP control plane (internal/admin) serving Prometheus-text
+// /metrics, /healthz, JSON /aus and /peers inspection, and POST /drain for
+// a graceful drain: the node stops calling polls, finishes in-flight ones,
+// flushes its store, prints exit statistics and exits 0.
 //
 // Transport knobs (see internal/node/transport.go): -sendqueue bounds each
 // peer's outbound message queue — when a stalled or dead peer's queue fills,
@@ -54,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"lockss/internal/admin"
 	"lockss/internal/content"
 	"lockss/internal/effort"
 	"lockss/internal/ids"
@@ -232,19 +237,65 @@ func verifyStore(dataDir string) int {
 	return 0
 }
 
+// nodeFlags collects the flag values that validation rules span, so the
+// rules can be unit-tested without running main.
+type nodeFlags struct {
+	id        uint
+	sendQ     int
+	maxIn     int
+	maxInIP   int
+	scrubPace time.Duration
+	dataDir   string
+	inject    string
+	verify    bool
+}
+
+// validate applies every up-front flag rule. Errors are returned (not
+// printed) so main can exit 2 with a single clear message and tests can
+// assert on the rule that fired. -verify-store is an offline mode: it needs
+// only a store directory, not an identity.
+func (f nodeFlags) validate() error {
+	if f.verify {
+		if f.dataDir == "" {
+			return fmt.Errorf("-verify-store requires -data-dir")
+		}
+		return nil
+	}
+	if f.id == 0 {
+		return fmt.Errorf("-id is required")
+	}
+	if f.sendQ < 1 {
+		return fmt.Errorf("-sendqueue must be >= 1 (got %d)", f.sendQ)
+	}
+	if f.maxIn < 1 {
+		return fmt.Errorf("-max-inbound must be >= 1 (got %d)", f.maxIn)
+	}
+	if f.maxInIP < 1 {
+		return fmt.Errorf("-max-inbound-addr must be >= 1 (got %d)", f.maxInIP)
+	}
+	if f.scrubPace < 0 {
+		return fmt.Errorf("-scrub-pace must be >= 0 (got %v)", f.scrubPace)
+	}
+	if f.inject != "" && f.dataDir == "" {
+		return fmt.Errorf("-inject-damage requires -data-dir")
+	}
+	return nil
+}
+
 func main() {
 	var (
-		id       = flag.Uint("id", 0, "this peer's numeric identity (required)")
-		listen   = flag.String("listen", ":7421", "TCP listen address")
-		peers    = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
-		aus      = flag.Int("aus", 2, "archival units to preserve (when not ingesting files)")
-		auSize   = flag.Int64("ausize", 1<<20, "bytes per synthetic archival unit")
-		interval = flag.Duration("interval", 30*time.Second, "poll interval (demo timescale)")
-		rot      = flag.Bool("rot", false, "corrupt one random block at startup (marked damage)")
-		verbose  = flag.Bool("v", false, "log every vote supplied")
-		sendQ    = flag.Int("sendqueue", 128, "outbound message queue depth per peer (full queue drops oldest)")
-		maxIn    = flag.Int("max-inbound", 256, "max concurrent inbound sessions")
-		maxInIP  = flag.Int("max-inbound-addr", 64, "max concurrent inbound sessions per remote address (raise when many peers share one IP)")
+		id        = flag.Uint("id", 0, "this peer's numeric identity (required)")
+		listen    = flag.String("listen", ":7421", "TCP listen address")
+		adminAddr = flag.String("admin", "", "admin HTTP listen address for /metrics, /healthz, /aus, /peers, /drain (empty = disabled)")
+		peers     = flag.String("peers", "", "address book: id=host:port,id=host:port,...")
+		aus       = flag.Int("aus", 2, "archival units to preserve (when not ingesting files)")
+		auSize    = flag.Int64("ausize", 1<<20, "bytes per synthetic archival unit")
+		interval  = flag.Duration("interval", 30*time.Second, "poll interval (demo timescale)")
+		rot       = flag.Bool("rot", false, "corrupt one random block at startup (marked damage)")
+		verbose   = flag.Bool("v", false, "log every vote supplied")
+		sendQ     = flag.Int("sendqueue", 128, "outbound message queue depth per peer (full queue drops oldest)")
+		maxIn     = flag.Int("max-inbound", 256, "max concurrent inbound sessions")
+		maxInIP   = flag.Int("max-inbound-addr", 64, "max concurrent inbound sessions per remote address (raise when many peers share one IP)")
 
 		dataDir   = flag.String("data-dir", "", "durable AU store root; top-level files are ingested as AUs (empty = in-memory replicas)")
 		inject    = flag.String("inject-damage", "", "flip bits on disk in AU:BLOCK (or AU:rand) at startup; requires -data-dir")
@@ -257,20 +308,16 @@ func main() {
 	log.SetPrefix(fmt.Sprintf("lockss-node[%d] ", *id))
 	log.SetFlags(log.Ltime | log.Lmicroseconds)
 
+	nf := nodeFlags{
+		id: *id, sendQ: *sendQ, maxIn: *maxIn, maxInIP: *maxInIP,
+		scrubPace: *scrubPace, dataDir: *dataDir, inject: *inject, verify: *verify,
+	}
+	if err := nf.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "lockss-node: %v\n", err)
+		os.Exit(2)
+	}
 	if *verify {
-		if *dataDir == "" {
-			fmt.Fprintln(os.Stderr, "lockss-node: -verify-store requires -data-dir")
-			os.Exit(2)
-		}
 		os.Exit(verifyStore(*dataDir))
-	}
-	if *id == 0 {
-		fmt.Fprintln(os.Stderr, "lockss-node: -id is required")
-		os.Exit(2)
-	}
-	if *inject != "" && *dataDir == "" {
-		fmt.Fprintln(os.Stderr, "lockss-node: -inject-damage requires -data-dir")
-		os.Exit(2)
 	}
 	book, err := parsePeers(*peers)
 	if err != nil {
@@ -472,18 +519,49 @@ func main() {
 	}
 	log.Printf("preserving %d AUs; polling every %v; peers: %v", len(replicas), *interval, *peers)
 
-	// statsLine snapshots everything observable about the running node.
-	statsLine := func() string {
-		var ps protocol.PeerStats
-		nd.Inspect(func(p *protocol.Peer) { ps = p.Stats() })
-		ts := nd.TransportStats()
-		line := fmt.Sprintf("polls ok=%d inq=%d incon=%d repfail=%d votes=%d repairs rx=%d tx=%d | transport sent=%d dropped=%d dials=%d",
-			ps.PollsSucceeded, ps.PollsInquorate, ps.PollsInconclusive, ps.PollsRepairFailed,
-			ps.VotesReceived, ps.RepairsReceived, ps.RepairsServed, ts.Sent, ts.Drops, ts.Dials)
+	// The admin control plane serves /metrics, /healthz, /aus, /peers and
+	// /drain off the running node. A completed drain ends the process the
+	// same way a signal does, through the shared shutdown path below.
+	drained := make(chan struct{})
+	if *adminAddr != "" {
+		// The scrub health check trips when the scrubber's counters stop
+		// moving for longer than a few full passes: pace per block across
+		// the whole store, plus the between-pass rest (10x pace).
+		var stall time.Duration
 		if st != nil {
-			ss := nd.StoreStats()
+			pace := *scrubPace
+			if pace <= 0 {
+				pace = time.Second // store.ScrubConfig default
+			}
+			blocks := 0
+			for _, r := range replicas {
+				blocks += r.Spec().Blocks()
+			}
+			stall = 3 * time.Duration(blocks+10) * pace
+		}
+		adm := admin.New(nd, admin.Options{
+			Logf:       log.Printf,
+			OnDrained:  func() { close(drained) },
+			ScrubStall: stall,
+		})
+		if err := adm.Start(*adminAddr); err != nil {
+			log.Fatal(err)
+		}
+		defer adm.Close()
+		log.Printf("admin API on http://%v (metrics, healthz, aus, peers, drain)", adm.Addr())
+	}
+
+	// statsLine renders one aggregate snapshot; the periodic ticker and the
+	// exit report below share it so the two can never drift apart.
+	statsLine := func(s node.Stats) string {
+		line := fmt.Sprintf("polls ok=%d inq=%d incon=%d repfail=%d votes=%d repairs rx=%d tx=%d | transport sent=%d dropped=%d dials=%d",
+			s.Peer.PollsSucceeded, s.Peer.PollsInquorate, s.Peer.PollsInconclusive, s.Peer.PollsRepairFailed,
+			s.Peer.VotesReceived, s.Peer.RepairsReceived, s.Peer.RepairsServed,
+			s.Transport.Sent, s.Transport.Drops, s.Transport.Dials)
+		if st != nil {
 			line += fmt.Sprintf(" | store scanned=%d verified=%d damaged=%d repaired=%d passes=%d",
-				ss.BlocksScanned, ss.BlocksVerified, ss.BlocksDamaged, ss.BlocksRepaired, ss.ScrubPasses)
+				s.Store.BlocksScanned, s.Store.BlocksVerified, s.Store.BlocksDamaged,
+				s.Store.BlocksRepaired, s.Store.ScrubPasses)
 		}
 		return line
 	}
@@ -495,7 +573,11 @@ func main() {
 			for {
 				select {
 				case <-tick.C:
-					log.Printf("stats: %s", statsLine())
+					if s, ok := nd.StatsWithin(5 * time.Second); ok {
+						log.Printf("stats: %s", statsLine(s))
+					} else {
+						log.Printf("stats: actor loop unresponsive")
+					}
 				case <-statsDone:
 					return
 				}
@@ -505,10 +587,14 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Printf("shutting down")
+	select {
+	case <-sig:
+		log.Printf("shutting down")
+	case <-drained:
+		log.Printf("drained via admin API; shutting down")
+	}
 	close(statsDone)
-	nd.Stop()
+	nd.Stop() // idempotent: a no-op when the drain already stopped the node
 	if rec != nil {
 		// The node has fully drained: no tap callback can still be running.
 		if err := rec.Close(); err != nil {
@@ -519,19 +605,20 @@ func main() {
 		recFile.Close()
 	}
 
-	pst := nd.Peer().Stats()
-	log.Printf("polls: ok=%d inquorate=%d inconclusive=%d repair-failed=%d; votes supplied=%d; repairs served=%d",
-		pst.PollsSucceeded, pst.PollsInquorate, pst.PollsInconclusive, pst.PollsRepairFailed,
-		pst.VotesSupplied, pst.RepairsServed)
-	ts := nd.TransportStats()
+	// Exit report: the same aggregate snapshot the ticker renders, expanded.
+	s := nd.Stats()
+	log.Printf("stats: %s", statsLine(s))
+	log.Printf("polls: ok=%d inquorate=%d inconclusive=%d repair-failed=%d alarms=%d; votes supplied=%d; repairs served=%d",
+		s.Peer.PollsSucceeded, s.Peer.PollsInquorate, s.Peer.PollsInconclusive, s.Peer.PollsRepairFailed,
+		s.Peer.Alarms, s.Peer.VotesSupplied, s.Peer.RepairsServed)
 	log.Printf("transport: sent=%d dropped=%d (queue-full=%d) dials=%d redials=%d dial-failures=%d queue-highwater=%d inbound accepted=%d rejected=%d",
-		ts.Sent, ts.Drops, ts.DropsQueueFull, ts.Dials, ts.Redials, ts.DialFailures,
-		ts.QueueHighWater, ts.InboundAccepted, ts.InboundRejected)
+		s.Transport.Sent, s.Transport.Drops, s.Transport.DropsQueueFull, s.Transport.Dials,
+		s.Transport.Redials, s.Transport.DialFailures, s.Transport.QueueHighWater,
+		s.Transport.InboundAccepted, s.Transport.InboundRejected)
 	if st != nil {
-		ss := nd.StoreStats()
 		log.Printf("store: scanned=%d verified=%d damaged=%d repaired=%d passes=%d manifest-writes=%d injected=%d",
-			ss.BlocksScanned, ss.BlocksVerified, ss.BlocksDamaged, ss.BlocksRepaired,
-			ss.ScrubPasses, ss.ManifestWrites, ss.DamageInjected)
+			s.Store.BlocksScanned, s.Store.BlocksVerified, s.Store.BlocksDamaged, s.Store.BlocksRepaired,
+			s.Store.ScrubPasses, s.Store.ManifestWrites, s.Store.DamageInjected)
 	}
 }
 

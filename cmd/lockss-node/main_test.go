@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// okFlags is a baseline that passes validation; cases tweak one field.
+func okFlags() nodeFlags {
+	return nodeFlags{
+		id:        1,
+		sendQ:     128,
+		maxIn:     256,
+		maxInIP:   64,
+		scrubPace: time.Second,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*nodeFlags)
+		wantErr string // substring; empty = valid
+	}{
+		{"defaults", func(f *nodeFlags) {}, ""},
+		{"missing id", func(f *nodeFlags) { f.id = 0 }, "-id is required"},
+		{"zero sendqueue", func(f *nodeFlags) { f.sendQ = 0 }, "-sendqueue"},
+		{"negative sendqueue", func(f *nodeFlags) { f.sendQ = -5 }, "-sendqueue"},
+		{"zero max-inbound", func(f *nodeFlags) { f.maxIn = 0 }, "-max-inbound"},
+		{"zero max-inbound-addr", func(f *nodeFlags) { f.maxInIP = 0 }, "-max-inbound-addr"},
+		{"negative scrub pace", func(f *nodeFlags) { f.scrubPace = -time.Second }, "-scrub-pace"},
+		{"zero scrub pace ok", func(f *nodeFlags) { f.scrubPace = 0 }, ""},
+		{"inject without data-dir", func(f *nodeFlags) { f.inject = "1:2" }, "-inject-damage requires -data-dir"},
+		{"inject with data-dir", func(f *nodeFlags) { f.inject = "1:2"; f.dataDir = "/tmp/x" }, ""},
+		{"verify without data-dir", func(f *nodeFlags) { f.verify = true }, "-verify-store requires -data-dir"},
+		// Offline verify mode needs no identity and skips node-flag rules.
+		{"verify mode skips node rules", func(f *nodeFlags) {
+			f.verify = true
+			f.dataDir = "/tmp/x"
+			f.id = 0
+			f.sendQ = 0
+		}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := okFlags()
+			tc.mutate(&f)
+			err := f.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() = nil, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %q, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	book, err := parsePeers("1=localhost:7421,2=localhost:7422")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(book) != 2 || book[1] != "localhost:7421" || book[2] != "localhost:7422" {
+		t.Fatalf("parsePeers = %v", book)
+	}
+	if _, err := parsePeers("nonsense"); err == nil {
+		t.Error("parsePeers accepted a malformed entry")
+	}
+	if _, err := parsePeers("x=localhost:1"); err == nil {
+		t.Error("parsePeers accepted a non-numeric id")
+	}
+}

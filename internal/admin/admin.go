@@ -1,0 +1,469 @@
+// Package admin embeds an HTTP control plane into a running node: live
+// Prometheus-text counters, health checking, per-AU and per-peer state
+// inspection, and graceful drain. It is the observability surface the fleet
+// harness (internal/fleet) scrapes to operate a population.
+//
+// Every handler reads through paths that cannot block the protocol:
+// transport and store counters are atomic snapshots, and protocol state is
+// fetched with a bounded post onto the node's actor loop — if the loop does
+// not respond within InspectTimeout the handler degrades (503, or metrics
+// without the protocol section) instead of waiting. No handler ever locks
+// protocol state directly.
+//
+// Endpoints:
+//
+//	GET  /metrics  Prometheus text: transport, store and protocol counters
+//	               plus liveness gauges (lockss_actor_responsive, ...).
+//	GET  /healthz  200 when the listener is up, the actor loop answers a
+//	               bounded round trip and the scrubber is making progress;
+//	               503 with a JSON body naming the failing checks otherwise.
+//	GET  /aus      JSON: per-AU damage marks, generation, in-flight poll
+//	               deadline and graded reference list.
+//	GET  /peers    JSON: per-peer dial address, link state (live session,
+//	               queue depth, pending backoff) and per-AU grades.
+//	POST /drain    Graceful drain: stop calling polls, finish in-flight
+//	               ones, flush the store, then invoke OnDrained (the node
+//	               binary exits 0). Responds 202 immediately.
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"lockss/internal/ids"
+	"lockss/internal/node"
+	"lockss/internal/protocol"
+)
+
+// Options configures the control plane.
+type Options struct {
+	// Logf receives diagnostics (may be nil).
+	Logf func(format string, args ...any)
+	// OnDrained runs once a POST /drain has fully drained and stopped the
+	// node; lockss-node exits 0 from it. May be nil.
+	OnDrained func()
+	// InspectTimeout bounds the actor-loop round trip behind every handler
+	// that needs protocol state. Default 3s.
+	InspectTimeout time.Duration
+	// ScrubStall marks the store scrubber unhealthy when its counters stop
+	// moving for this long. Zero disables the check (no store, or a pace so
+	// slow that stall detection is meaningless). Size it to comfortably
+	// exceed one full scrub pass: pace * blocks + the pass pause.
+	ScrubStall time.Duration
+}
+
+// Server is the embedded control plane for one node.
+type Server struct {
+	n    *node.Node
+	opts Options
+	mux  *http.ServeMux
+	srv  *http.Server
+
+	lnMu sync.Mutex
+	ln   net.Listener
+
+	drainOnce sync.Once
+
+	// Scrub progress tracking for /healthz: counters at the last observed
+	// change and when that change was seen.
+	scrubMu   sync.Mutex
+	scrubSeen uint64
+	scrubAt   time.Time
+}
+
+// New builds the control plane for a node. Call Start to serve it.
+func New(n *node.Node, opts Options) *Server {
+	if opts.InspectTimeout <= 0 {
+		opts.InspectTimeout = 3 * time.Second
+	}
+	s := &Server{n: n, opts: opts, scrubAt: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /aus", s.handleAUs)
+	mux.HandleFunc("GET /peers", s.handlePeers)
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	s.mux = mux
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Handler exposes the route table (tests drive it without a listener).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr and serves in the background.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("admin: listen %s: %w", addr, err)
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("admin: serve: %v", err)
+		}
+	}()
+	s.logf("admin: listening on %v", ln.Addr())
+	return nil
+}
+
+// Addr returns the bound admin address (nil before Start).
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops serving. It does not touch the node.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// inspect runs fn on the node's actor loop and returns its result, bounded
+// by InspectTimeout. ok is false when the loop is wedged (no response in
+// time) or the node is stopped. A late-completing fn delivers into a
+// buffered channel nobody reads — safe, no shared state.
+func inspect[T any](s *Server, fn func(p *protocol.Peer) T) (T, bool) {
+	type reply struct {
+		v  T
+		ok bool
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		var r reply
+		r.ok = s.n.Inspect(func(p *protocol.Peer) { r.v = fn(p) })
+		ch <- r
+	}()
+	timer := time.NewTimer(s.opts.InspectTimeout)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.ok
+	case <-timer.C:
+		var zero T
+		return zero, false
+	}
+}
+
+// metricRow is one exposition line: a name, a type and a value.
+type metricRow struct {
+	name string
+	typ  string // "counter" or "gauge"
+	val  float64
+}
+
+// handleMetrics serves Prometheus text-format counters. Transport and store
+// counters always appear (atomic snapshots); protocol counters and AU gauges
+// appear only when the actor loop answered in time, with
+// lockss_actor_responsive telling the two apart.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st, respOK := s.n.StatsWithin(s.opts.InspectTimeout)
+
+	rows := make([]metricRow, 0, 48)
+	add := func(name, typ string, v float64) { rows = append(rows, metricRow{name, typ, v}) }
+
+	add("lockss_up", "gauge", 1)
+	add("lockss_actor_responsive", "gauge", b2f(respOK))
+
+	t := st.Transport
+	add("lockss_transport_sent_total", "counter", float64(t.Sent))
+	add("lockss_transport_drops_total", "counter", float64(t.Drops))
+	add("lockss_transport_drops_queue_full_total", "counter", float64(t.DropsQueueFull))
+	add("lockss_transport_dials_total", "counter", float64(t.Dials))
+	add("lockss_transport_redials_total", "counter", float64(t.Redials))
+	add("lockss_transport_dial_failures_total", "counter", float64(t.DialFailures))
+	add("lockss_transport_queue_highwater", "gauge", float64(t.QueueHighWater))
+	add("lockss_transport_inbound_accepted_total", "counter", float64(t.InboundAccepted))
+	add("lockss_transport_inbound_rejected_total", "counter", float64(t.InboundRejected))
+
+	links := s.n.LinkInfos()
+	connected, depth := 0, 0
+	for _, l := range links {
+		if l.Connected {
+			connected++
+		}
+		depth += l.QueueDepth
+	}
+	add("lockss_peer_links", "gauge", float64(len(links)))
+	add("lockss_peer_links_connected", "gauge", float64(connected))
+	add("lockss_send_queue_depth", "gauge", float64(depth))
+
+	if s.n.HasStore() {
+		ss := st.Store
+		add("lockss_store_blocks_scanned_total", "counter", float64(ss.BlocksScanned))
+		add("lockss_store_blocks_verified_total", "counter", float64(ss.BlocksVerified))
+		add("lockss_store_blocks_damaged_total", "counter", float64(ss.BlocksDamaged))
+		add("lockss_store_blocks_repaired_total", "counter", float64(ss.BlocksRepaired))
+		add("lockss_store_scrub_passes_total", "counter", float64(ss.ScrubPasses))
+		add("lockss_store_manifest_writes_total", "counter", float64(ss.ManifestWrites))
+		add("lockss_store_damage_injected_total", "counter", float64(ss.DamageInjected))
+	}
+
+	if respOK {
+		p := st.Peer
+		add("lockss_polls_started_total", "counter", float64(p.PollsStarted))
+		add("lockss_polls_succeeded_total", "counter", float64(p.PollsSucceeded))
+		add("lockss_polls_inquorate_total", "counter", float64(p.PollsInquorate))
+		add("lockss_polls_inconclusive_total", "counter", float64(p.PollsInconclusive))
+		add("lockss_polls_repair_failed_total", "counter", float64(p.PollsRepairFailed))
+		add("lockss_polls_concluded_total", "counter", float64(p.PollsConcluded()))
+		add("lockss_alarms_total", "counter", float64(p.Alarms))
+		add("lockss_votes_supplied_total", "counter", float64(p.VotesSupplied))
+		add("lockss_votes_received_total", "counter", float64(p.VotesReceived))
+		add("lockss_invites_considered_total", "counter", float64(p.InvitesConsidered))
+		add("lockss_invites_refused_total", "counter", float64(p.InvitesRefused))
+		add("lockss_invites_ignored_total", "counter", float64(p.InvitesIgnored))
+		add("lockss_repairs_served_total", "counter", float64(p.RepairsServed))
+		add("lockss_repairs_received_total", "counter", float64(p.RepairsReceived))
+		add("lockss_acks_timed_out_total", "counter", float64(p.AcksTimedOut))
+		add("lockss_votes_timed_out_total", "counter", float64(p.VotesTimedOut))
+		add("lockss_proofs_timed_out_total", "counter", float64(p.ProofsTimedOut))
+		add("lockss_receipts_timed_out_total", "counter", float64(p.ReceiptsTimedOut))
+		add("lockss_bad_proofs_total", "counter", float64(p.BadProofs))
+
+		if infos, ok := inspect(s, func(p *protocol.Peer) []protocol.AUInfo { return p.AUInfos() }); ok {
+			damaged, polls, sessions := 0, 0, 0
+			for _, au := range infos {
+				damaged += len(au.DamagedBlocks)
+				if au.PollActive {
+					polls++
+				}
+				sessions += au.VoterSessions
+			}
+			add("lockss_aus", "gauge", float64(len(infos)))
+			add("lockss_au_damaged_blocks", "gauge", float64(damaged))
+			add("lockss_active_polls", "gauge", float64(polls))
+			add("lockss_voter_sessions", "gauge", float64(sessions))
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, row := range rows {
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", row.name, row.typ, row.name, row.val)
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// health is the /healthz body.
+type health struct {
+	Healthy  bool `json:"healthy"`
+	Listener bool `json:"listener"`
+	Actor    bool `json:"actor"`
+	Scrub    bool `json:"scrub"`
+}
+
+// handleHealthz runs the three liveness checks: the protocol listener is
+// bound, the actor loop answers a bounded post round trip, and the store
+// scrubber's counters moved within ScrubStall.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := health{
+		Listener: s.n.Addr() != nil,
+		Actor:    true,
+		Scrub:    true,
+	}
+	_, ok := inspect(s, func(p *protocol.Peer) struct{} { return struct{}{} })
+	h.Actor = ok
+	if s.opts.ScrubStall > 0 && s.n.HasStore() {
+		h.Scrub = s.scrubAlive()
+	}
+	h.Healthy = h.Listener && h.Actor && h.Scrub
+	w.Header().Set("Content-Type", "application/json")
+	if !h.Healthy {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(h)
+}
+
+// scrubAlive reports whether the scrubber's counters have moved within
+// ScrubStall. Progress is scans plus completed passes, so a tiny store whose
+// pass finishes between probes still registers.
+func (s *Server) scrubAlive() bool {
+	ss := s.n.StoreStats()
+	progress := ss.BlocksScanned + ss.ScrubPasses
+	now := time.Now()
+	s.scrubMu.Lock()
+	defer s.scrubMu.Unlock()
+	if progress != s.scrubSeen {
+		s.scrubSeen = progress
+		s.scrubAt = now
+		return true
+	}
+	return now.Sub(s.scrubAt) <= s.opts.ScrubStall
+}
+
+// auJSON is the /aus wire shape for one AU.
+type auJSON struct {
+	ID            uint32     `json:"id"`
+	Name          string     `json:"name"`
+	Size          int64      `json:"size"`
+	BlockSize     int64      `json:"block_size"`
+	Blocks        int        `json:"blocks"`
+	Generation    uint64     `json:"generation"`
+	DamagedBlocks []int      `json:"damaged_blocks"`
+	PollActive    bool       `json:"poll_active"`
+	PollDeadline  *time.Time `json:"poll_deadline,omitempty"`
+	Expedite      bool       `json:"expedite"`
+	LastSuccess   *time.Time `json:"last_success,omitempty"`
+	VoterSessions int        `json:"voter_sessions"`
+	RefList       []refSON   `json:"ref_list"`
+}
+
+type refSON struct {
+	Peer  uint32 `json:"peer"`
+	Grade string `json:"grade"`
+}
+
+// handleAUs serves the per-AU inspection snapshot.
+func (s *Server) handleAUs(w http.ResponseWriter, r *http.Request) {
+	infos, ok := inspect(s, func(p *protocol.Peer) []protocol.AUInfo { return p.AUInfos() })
+	if !ok {
+		http.Error(w, "actor loop unresponsive", http.StatusServiceUnavailable)
+		return
+	}
+	out := make([]auJSON, 0, len(infos))
+	for _, au := range infos {
+		j := auJSON{
+			ID:            uint32(au.Spec.ID),
+			Name:          au.Spec.Name,
+			Size:          au.Spec.Size,
+			BlockSize:     au.Spec.BlockSize,
+			Blocks:        au.Spec.Blocks(),
+			Generation:    au.Generation,
+			DamagedBlocks: au.DamagedBlocks,
+			PollActive:    au.PollActive,
+			Expedite:      au.Expedite,
+			VoterSessions: au.VoterSessions,
+			RefList:       make([]refSON, 0, len(au.RefList)),
+		}
+		if j.DamagedBlocks == nil {
+			j.DamagedBlocks = []int{}
+		}
+		// The node's protocol clock is Unix nanoseconds on the wall clock.
+		if au.PollActive {
+			t := time.Unix(0, int64(au.PollDeadline))
+			j.PollDeadline = &t
+		}
+		if au.LastSuccess >= 0 {
+			t := time.Unix(0, int64(au.LastSuccess))
+			j.LastSuccess = &t
+		}
+		for _, e := range au.RefList {
+			j.RefList = append(j.RefList, refSON{Peer: uint32(e.Peer), Grade: e.Grade.String()})
+		}
+		out = append(out, j)
+	}
+	writeJSON(w, out)
+}
+
+// peerJSON is the /peers wire shape for one known peer.
+type peerJSON struct {
+	Peer       uint32            `json:"peer"`
+	Addr       string            `json:"addr,omitempty"`
+	Connected  bool              `json:"connected"`
+	QueueDepth int               `json:"queue_depth"`
+	QueueCap   int               `json:"queue_cap"`
+	NextDial   *time.Time        `json:"next_dial,omitempty"`
+	Grades     map[string]string `json:"grades,omitempty"` // AU id -> grade
+}
+
+// handlePeers merges three views of the peerage: the address book, the
+// transport's outbound links and the per-AU reference-list grades.
+func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
+	infos, ok := inspect(s, func(p *protocol.Peer) []protocol.AUInfo { return p.AUInfos() })
+	if !ok {
+		http.Error(w, "actor loop unresponsive", http.StatusServiceUnavailable)
+		return
+	}
+	peers := make(map[ids.PeerID]*peerJSON)
+	ensure := func(id ids.PeerID) *peerJSON {
+		p, ok := peers[id]
+		if !ok {
+			p = &peerJSON{Peer: uint32(id)}
+			peers[id] = p
+		}
+		return p
+	}
+	for id, addr := range s.n.Addresses() {
+		ensure(id).Addr = addr
+	}
+	for _, l := range s.n.LinkInfos() {
+		p := ensure(l.Peer)
+		p.Connected = l.Connected
+		p.QueueDepth = l.QueueDepth
+		p.QueueCap = l.QueueCap
+		if !l.NextDial.IsZero() {
+			t := l.NextDial
+			p.NextDial = &t
+		}
+	}
+	for _, au := range infos {
+		key := fmt.Sprintf("%d", au.Spec.ID)
+		for _, e := range au.RefList {
+			p := ensure(e.Peer)
+			if p.Grades == nil {
+				p.Grades = make(map[string]string)
+			}
+			p.Grades[key] = e.Grade.String()
+		}
+	}
+	out := make([]peerJSON, 0, len(peers))
+	for _, p := range peers {
+		out = append(out, *p)
+	}
+	// Stable order for operators and tests.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].Peer > out[j].Peer; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	writeJSON(w, out)
+}
+
+// handleDrain starts a graceful drain exactly once and acknowledges
+// immediately; the drain (bounded by the poll window) runs in the
+// background and ends with OnDrained — the node binary's cue to exit 0.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.drainOnce.Do(func() {
+		go func() {
+			// Deliberately not the request context: the drain outlives the
+			// HTTP exchange that triggered it.
+			if err := s.n.Drain(context.Background()); err != nil {
+				s.logf("admin: drain: %v", err)
+				return
+			}
+			s.logf("admin: drain complete")
+			if s.opts.OnDrained != nil {
+				s.opts.OnDrained()
+			}
+		}()
+	})
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintln(w, "draining")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

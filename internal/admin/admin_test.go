@@ -1,0 +1,395 @@
+package admin
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"lockss/internal/content"
+	"lockss/internal/effort"
+	"lockss/internal/ids"
+	"lockss/internal/node"
+	"lockss/internal/protocol"
+	"lockss/internal/reputation"
+)
+
+// testProtocolConfig compresses the protocol's preservation timescales to
+// sub-second units, matching the node package's cluster tests.
+func testProtocolConfig() protocol.Config {
+	cfg := protocol.DefaultConfig()
+	cfg.Quorum = 3
+	cfg.InnerCircle = 5
+	cfg.MaxDisagree = 1
+	cfg.OuterCircle = 2
+	cfg.Nominations = 3
+	cfg.PollInterval = 1500 * time.Millisecond
+	cfg.VoteWindow = 700 * time.Millisecond
+	cfg.AckTimeout = 250 * time.Millisecond
+	cfg.ProofTimeout = 150 * time.Millisecond
+	cfg.VoteSlack = 300 * time.Millisecond
+	cfg.ReceiptSlack = 500 * time.Millisecond
+	cfg.RepairTimeout = 400 * time.Millisecond
+	cfg.Refractory = 200 * time.Millisecond
+	cfg.GradeDecay = time.Hour
+	cfg.FrivolousRepairProb = 0
+	cfg.RefListTarget = 5
+	cfg.RefListMax = 8
+	cfg.ConsiderBurst = 64
+	cfg.BlockSize = 32 << 10
+	return cfg
+}
+
+func testCosts() effort.CostModel {
+	m := effort.DefaultCostModel()
+	m.HashBytesPerSec = 64 << 30
+	m.SessionSetup = 1e-6
+	m.ScheduleCheck = 1e-6
+	m.ReceiptCheck = 1e-6
+	return m
+}
+
+var testMBF = effort.MBFParams{TableWords: 1 << 12, Steps: 1 << 10, Checkpoints: 8, VerifySegments: 2, Seed: 7}
+
+// newTestNode builds and starts a lone node preserving one AU whose
+// reference peers exist only in the address book — good enough for every
+// handler that reads state rather than driving the protocol.
+func newTestNode(t *testing.T, damage []int) *node.Node {
+	t.Helper()
+	spec := content.AUSpec{ID: 1, Name: "au-admin", Size: 128 << 10, BlockSize: 32 << 10}
+	book := map[ids.PeerID]string{
+		2: "127.0.0.1:1", 3: "127.0.0.1:1", 4: "127.0.0.1:1",
+		5: "127.0.0.1:1", 6: "127.0.0.1:1",
+	}
+	n, err := node.New(node.Config{
+		ID:          1,
+		Listen:      "127.0.0.1:0",
+		AddressBook: book,
+		Protocol:    testProtocolConfig(),
+		Costs:       testCosts(),
+		MBF:         testMBF,
+		EffortUnit:  0.05,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := content.NewRealReplica(spec, 1)
+	for _, b := range damage {
+		if !rep.Damage(b) {
+			t.Fatalf("damage injection at block %d failed", b)
+		}
+	}
+	refs := []ids.PeerID{2, 3, 4, 5, 6}
+	if err := n.AddAU(rep, refs); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		n.Peer().SeedGrade(spec.ID, r, reputation.Even)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Stop)
+	return n
+}
+
+func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec, string(body)
+}
+
+// TestMetricsTextParses checks the exposition output is well-formed
+// Prometheus text (every line a comment or "name value") and that the
+// counters a fleet scraper depends on are present with sane values.
+func TestMetricsTextParses(t *testing.T) {
+	n := newTestNode(t, nil)
+	s := New(n, Options{})
+	rec, body := get(t, s.Handler(), "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
+	}
+	vals := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge") {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(f[1], 64)
+		if err != nil {
+			t.Fatalf("non-numeric value in %q: %v", line, err)
+		}
+		vals[f[0]] = v
+	}
+	for _, want := range []string{
+		"lockss_up", "lockss_actor_responsive",
+		"lockss_transport_sent_total", "lockss_transport_drops_total",
+		"lockss_transport_inbound_accepted_total",
+		"lockss_polls_started_total", "lockss_polls_concluded_total",
+		"lockss_alarms_total", "lockss_aus", "lockss_active_polls",
+	} {
+		if _, ok := vals[want]; !ok {
+			t.Errorf("metric %s missing from exposition", want)
+		}
+	}
+	if vals["lockss_up"] != 1 || vals["lockss_actor_responsive"] != 1 {
+		t.Errorf("up=%v responsive=%v, want 1/1", vals["lockss_up"], vals["lockss_actor_responsive"])
+	}
+	if vals["lockss_aus"] != 1 {
+		t.Errorf("lockss_aus = %v, want 1", vals["lockss_aus"])
+	}
+	if vals["lockss_polls_started_total"] < 1 {
+		t.Errorf("lockss_polls_started_total = %v, want >= 1 (poll starts at boot)", vals["lockss_polls_started_total"])
+	}
+	if _, ok := vals["lockss_store_blocks_scanned_total"]; ok {
+		t.Error("store metrics exported for a node with no store")
+	}
+}
+
+// TestHealthzFlipsWhenActorWedged wedges the actor loop with a blocking
+// Inspect and watches /healthz flip to 503 (actor=false), then recover.
+func TestHealthzFlipsWhenActorWedged(t *testing.T) {
+	n := newTestNode(t, nil)
+	s := New(n, Options{InspectTimeout: 150 * time.Millisecond})
+
+	rec, body := get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d (%s), want 200 on a healthy node", rec.Code, body)
+	}
+
+	// Wedge: a closure that blocks the actor loop until released.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go n.Inspect(func(p *protocol.Peer) {
+		close(started)
+		<-release
+	})
+	<-started
+
+	rec, body = get(t, s.Handler(), "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET /healthz = %d while wedged, want 503", rec.Code)
+	}
+	var h struct {
+		Healthy  bool `json:"healthy"`
+		Listener bool `json:"listener"`
+		Actor    bool `json:"actor"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body not JSON: %v (%s)", err, body)
+	}
+	if h.Healthy || h.Actor || !h.Listener {
+		t.Errorf("wedged healthz = %+v, want listener-only healthy", h)
+	}
+
+	close(release)
+	deadline := time.After(5 * time.Second)
+	for {
+		rec, _ = get(t, s.Handler(), "/healthz")
+		if rec.Code == http.StatusOK {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("healthz still %d after unwedging", rec.Code)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestAUsAndPeersEndpoints decodes both inspection endpoints and checks the
+// damage marks, reference-list grades and address-book merge.
+func TestAUsAndPeersEndpoints(t *testing.T) {
+	n := newTestNode(t, []int{2})
+	s := New(n, Options{})
+
+	rec, body := get(t, s.Handler(), "/aus")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /aus = %d", rec.Code)
+	}
+	var aus []struct {
+		ID            uint32 `json:"id"`
+		Name          string `json:"name"`
+		Blocks        int    `json:"blocks"`
+		DamagedBlocks []int  `json:"damaged_blocks"`
+		PollActive    bool   `json:"poll_active"`
+		RefList       []struct {
+			Peer  uint32 `json:"peer"`
+			Grade string `json:"grade"`
+		} `json:"ref_list"`
+	}
+	if err := json.Unmarshal([]byte(body), &aus); err != nil {
+		t.Fatalf("/aus body not JSON: %v (%s)", err, body)
+	}
+	if len(aus) != 1 || aus[0].ID != 1 || aus[0].Name != "au-admin" || aus[0].Blocks != 4 {
+		t.Fatalf("unexpected /aus payload: %+v", aus)
+	}
+	if len(aus[0].DamagedBlocks) != 1 || aus[0].DamagedBlocks[0] != 2 {
+		t.Errorf("damaged_blocks = %v, want [2]", aus[0].DamagedBlocks)
+	}
+	if len(aus[0].RefList) != 5 {
+		t.Errorf("ref_list size = %d, want 5", len(aus[0].RefList))
+	}
+	for _, e := range aus[0].RefList {
+		if e.Grade != "even" {
+			t.Errorf("grade of peer %d = %q, want even", e.Peer, e.Grade)
+		}
+	}
+
+	rec, body = get(t, s.Handler(), "/peers")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /peers = %d", rec.Code)
+	}
+	var peers []struct {
+		Peer   uint32            `json:"peer"`
+		Addr   string            `json:"addr"`
+		Grades map[string]string `json:"grades"`
+	}
+	if err := json.Unmarshal([]byte(body), &peers); err != nil {
+		t.Fatalf("/peers body not JSON: %v (%s)", err, body)
+	}
+	if len(peers) != 5 {
+		t.Fatalf("/peers returned %d peers, want 5: %+v", len(peers), peers)
+	}
+	for i, p := range peers {
+		if p.Peer != uint32(i+2) {
+			t.Errorf("peers not sorted: index %d has peer %d", i, p.Peer)
+		}
+		if p.Addr == "" {
+			t.Errorf("peer %d missing address", p.Peer)
+		}
+		if p.Grades["1"] != "even" {
+			t.Errorf("peer %d grades = %v, want AU 1 even", p.Peer, p.Grades)
+		}
+	}
+}
+
+// TestMethodDiscipline: /drain is POST-only, inspection endpoints GET-only.
+func TestMethodDiscipline(t *testing.T) {
+	n := newTestNode(t, nil)
+	s := New(n, Options{})
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/drain", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /drain = %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+// TestDrainEndpointMidPoll boots a real 6-node cluster, POSTs /drain to one
+// node while its first poll is in flight, and requires the drain to finish
+// the poll, stop the node and fire OnDrained. Real-time; skipped by -short.
+func TestDrainEndpointMidPoll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time cluster test")
+	}
+	const N = 6
+	spec := content.AUSpec{ID: 1, Name: "au-drain", Size: 128 << 10, BlockSize: 32 << 10}
+	book := make(map[ids.PeerID]string)
+	nodes := make([]*node.Node, N)
+	for i := 0; i < N; i++ {
+		n, err := node.New(node.Config{
+			ID:          ids.PeerID(i + 1),
+			Listen:      "127.0.0.1:0",
+			AddressBook: book,
+			Protocol:    testProtocolConfig(),
+			Costs:       testCosts(),
+			MBF:         testMBF,
+			EffortUnit:  0.05,
+			Seed:        uint64(2000 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	for i, n := range nodes {
+		var refs []ids.PeerID
+		for j := 0; j < N; j++ {
+			if j != i {
+				refs = append(refs, ids.PeerID(j+1))
+			}
+		}
+		if err := n.AddAU(content.NewRealReplica(spec, uint64(i+1)), refs); err != nil {
+			t.Fatal(err)
+		}
+		n.SetFriends(refs)
+		for _, r := range refs {
+			n.Peer().SeedGrade(spec.ID, r, reputation.Even)
+		}
+	}
+	for _, n := range nodes {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, n := range nodes {
+		addr := n.Addr().String()
+		for _, m := range nodes {
+			m.SetAddress(ids.PeerID(i+1), addr)
+		}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	drained := make(chan struct{})
+	s := New(nodes[0], Options{
+		Logf:      t.Logf,
+		OnDrained: func() { close(drained) },
+	})
+
+	// The first poll starts at boot; confirm it is in flight, then drain.
+	var active int
+	nodes[0].Inspect(func(p *protocol.Peer) { active = p.ActivePolls() })
+	if active != 1 {
+		t.Fatalf("ActivePolls = %d before drain, want 1", active)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/drain", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /drain = %d, want 202", rec.Code)
+	}
+	// A second POST must be a no-op (still accepted, drain not restarted).
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/drain", nil))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("second POST /drain = %d, want 202", rec.Code)
+	}
+
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain did not complete")
+	}
+	// The node is stopped: Inspect must refuse, and the in-flight poll must
+	// have concluded rather than been abandoned.
+	if nodes[0].Inspect(func(p *protocol.Peer) {}) {
+		t.Error("Inspect succeeded on a drained node; want stopped")
+	}
+	st := nodes[0].Stats()
+	if st.Peer.PollsStarted == 0 || st.Peer.PollsStarted != st.Peer.PollsConcluded() {
+		t.Errorf("drained node stats: started=%d concluded=%d, want equal and nonzero",
+			st.Peer.PollsStarted, st.Peer.PollsConcluded())
+	}
+}

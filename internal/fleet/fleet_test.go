@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1.5s"`)); err != nil || time.Duration(d) != 1500*time.Millisecond {
+		t.Fatalf("UnmarshalJSON(\"1.5s\") = %v, %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`2000000000`)); err != nil || time.Duration(d) != 2*time.Second {
+		t.Fatalf("UnmarshalJSON(ns) = %v, %v", d, err)
+	}
+	if err := d.UnmarshalJSON([]byte(`true`)); err == nil {
+		t.Fatal("UnmarshalJSON(true) accepted")
+	}
+	b, err := Duration(time.Second).MarshalJSON()
+	if err != nil || string(b) != `"1s"` {
+		t.Fatalf("MarshalJSON = %s, %v", b, err)
+	}
+}
+
+func TestLoadConfigStripsComments(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	cfg := `// a commented fleet config
+{
+  // population
+  "nodes": 8,
+  "aus": 1,
+  "duration": "3s",
+  "faults": [
+    // one damage event
+    {"at": "1s", "kind": "damage", "node": 2, "au": 1, "block": 0}
+  ]
+}
+`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 8 || time.Duration(c.Duration) != 3*time.Second || len(c.Faults) != 1 {
+		t.Fatalf("loaded config %+v", c)
+	}
+	if c.Quorum != 3 || c.PollInterval == 0 {
+		t.Fatalf("defaults not filled: %+v", c)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	base := Config{}.withDefaults()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := base
+	bad.Nodes = 2
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted 2-node fleet")
+	}
+	bad = base
+	bad.Faults = []Fault{{Kind: "explode"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted unknown fault kind")
+	}
+	bad = base
+	bad.Faults = []Fault{{Kind: "damage", AU: 99}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted damage to out-of-range AU")
+	}
+	bad = base
+	bad.Faults = []Fault{{Kind: "partition"}}
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted partition without a subnet")
+	}
+}
+
+// TestScheduleDeterministicAndPinned: same seed, same schedule; randoms
+// pinned; "for" sugar and churn expanded into inverse pairs in time order.
+func TestScheduleDeterministic(t *testing.T) {
+	c := Config{
+		Nodes: 10, AUs: 1, AUSize: 128 << 10, BlockSize: 32 << 10,
+		Duration: Duration(10 * time.Second),
+		Faults: []Fault{
+			{At: Duration(time.Second), Kind: "damage", Node: 0, AU: 1, Block: -1},
+			{At: Duration(2 * time.Second), Kind: "kill", Node: 0, For: Duration(time.Second)},
+		},
+		Churn: &Churn{Interval: Duration(3 * time.Second), Down: Duration(time.Second)},
+	}.withDefaults()
+	a := c.schedule(rand.New(rand.NewSource(42)))
+	b := c.schedule(rand.New(rand.NewSource(42)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedule not deterministic:\n%v\n%v", a, b)
+	}
+	for _, f := range a {
+		if f.Node == 0 && f.Kind != "partition" && f.Kind != "heal" {
+			t.Errorf("random node not pinned: %+v", f)
+		}
+		if f.Kind == "damage" && f.Block < 0 {
+			t.Errorf("random block not pinned: %+v", f)
+		}
+	}
+	// The kill at 2s must have a matching restart at 3s; churn adds more
+	// kill/restart pairs.
+	kills, restarts := 0, 0
+	for _, f := range a {
+		switch f.Kind {
+		case "kill":
+			kills++
+		case "restart":
+			restarts++
+		}
+	}
+	if kills < 2 || kills != restarts {
+		t.Errorf("kills=%d restarts=%d, want matched pairs incl. churn", kills, restarts)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].At > a[i].At {
+			t.Fatalf("schedule not time-ordered: %v", a)
+		}
+	}
+}
+
+// TestFleetRepairsInjectedDamage runs a real seeded 10-node fleet: one
+// damage injection plus one kill/restart, and requires the report to show
+// the damage repaired, all nodes back up and healthy. Real-time; skipped by
+// -short (CI runs it as a named step).
+func TestFleetRepairsInjectedDamage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time fleet test")
+	}
+	cfg := Config{
+		Nodes:          10,
+		AUs:            1,
+		AUSize:         128 << 10,
+		BlockSize:      32 << 10,
+		Seed:           7,
+		Duration:       Duration(9 * time.Second),
+		ScrapeInterval: Duration(1 * time.Second),
+		PollInterval:   Duration(1500 * time.Millisecond),
+		Faults: []Fault{
+			{At: Duration(300 * time.Millisecond), Kind: "damage", Node: 3, AU: 1, Block: 2},
+			{At: Duration(1 * time.Second), Kind: "kill", Node: 7, For: Duration(2 * time.Second)},
+		},
+	}.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := New(cfg, t.Logf)
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.Summary())
+
+	for _, ev := range rep.FaultLog {
+		if ev.Error != "" {
+			t.Errorf("fault %s at %v failed: %s", ev.Fault.Kind, ev.At, ev.Error)
+		}
+	}
+	if len(rep.FaultLog) != 3 { // damage, kill, restart
+		t.Errorf("fault log has %d events, want 3: %+v", len(rep.FaultLog), rep.FaultLog)
+	}
+	if !rep.Final.Converged || rep.Final.UnrepairedDamage != 0 {
+		t.Errorf("fleet did not converge: %d unrepaired damaged blocks", rep.Final.UnrepairedDamage)
+	}
+	if rep.Final.NodesUp != cfg.Nodes {
+		t.Errorf("NodesUp = %d, want %d (kill was scheduled to restart)", rep.Final.NodesUp, cfg.Nodes)
+	}
+	if !rep.Final.AllHealthy {
+		t.Errorf("not all nodes healthy at end: %d/%d", rep.Final.NodesHealthy, cfg.Nodes)
+	}
+	// The injected damage must have been visible and then repaired: the
+	// damaged node received at least one protocol repair.
+	last := rep.Samples[len(rep.Samples)-1]
+	if last.Aggregate["repairs_received"] < 1 {
+		t.Errorf("no repairs received across the fleet; damage was never healed by the protocol")
+	}
+	if last.Aggregate["polls_concluded"] < float64(cfg.Nodes) {
+		t.Errorf("polls_concluded = %v, want >= %d", last.Aggregate["polls_concluded"], cfg.Nodes)
+	}
+}

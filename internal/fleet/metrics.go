@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// scrapeClient bounds every admin scrape so one wedged node cannot stall
+// the sweep past its interval.
+var scrapeClient = &http.Client{Timeout: 5 * time.Second}
+
+// scrapeMetrics fetches and parses one node's Prometheus-text /metrics.
+func scrapeMetrics(adminAddr string) (map[string]float64, string) {
+	resp, err := scrapeClient.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		return nil, err.Error()
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err.Error()
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Sprintf("status %d", resp.StatusCode)
+	}
+	m, err := parseMetrics(string(body))
+	if err != nil {
+		return nil, err.Error()
+	}
+	return m, ""
+}
+
+// parseMetrics reads Prometheus text exposition into name -> value.
+func parseMetrics(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("malformed metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value in %q: %w", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
+}
+
+// scrapeHealthz reports whether the node's /healthz answered 200.
+func scrapeHealthz(adminAddr string) bool {
+	resp, err := scrapeClient.Get("http://" + adminAddr + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// damageFromMetrics extracts the marked-damage and active-poll gauges (zero
+// when the node's actor loop was unresponsive and the gauges were absent).
+func damageFromMetrics(m map[string]float64) (damage int, polls int) {
+	return int(m["lockss_au_damaged_blocks"]), int(m["lockss_active_polls"])
+}

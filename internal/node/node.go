@@ -190,6 +190,130 @@ func New(cfg Config) (*Node, error) {
 // Peer exposes the protocol peer for inspection (replicas, stats).
 func (n *Node) Peer() *protocol.Peer { return n.peer }
 
+// ID returns the node's peer identity.
+func (n *Node) ID() ids.PeerID { return n.cfg.ID }
+
+// HasStore reports whether the node runs on a durable on-disk store.
+func (n *Node) HasStore() bool { return n.cfg.Store != nil }
+
+// Stats is one aggregate snapshot of everything the node counts: the
+// protocol peer's event counters, the transport's link counters and (when
+// the node runs on a durable store) the store's scrub counters. It is the
+// single source for the admin API's /metrics, the -stats-interval one-liner
+// and the exit statistics.
+type Stats struct {
+	Peer      protocol.PeerStats
+	Transport TransportStats
+	Store     store.Stats
+}
+
+// Stats snapshots the aggregate counters. The protocol counters are read on
+// the actor loop (a bounded post round-trip); transport and store counters
+// are atomic snapshots. Blocks until the actor loop responds; after Stop it
+// reads the drained peer directly. Use StatsWithin to bound the wait against
+// a wedged loop.
+func (n *Node) Stats() Stats {
+	s, _ := n.statsWait(nil)
+	return s
+}
+
+// StatsWithin is Stats with a deadline: when the actor loop does not respond
+// within d (wedged or overloaded), ok is false and the snapshot carries only
+// the transport and store counters. The protocol read stays queued and
+// completes harmlessly if the loop recovers.
+func (n *Node) StatsWithin(d time.Duration) (Stats, bool) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	return n.statsWait(timer.C)
+}
+
+func (n *Node) statsWait(timeout <-chan time.Time) (Stats, bool) {
+	s := Stats{Transport: n.tr.stats(), Store: n.StoreStats()}
+	done := make(chan protocol.PeerStats, 1)
+	go func() {
+		if !n.Inspect(func(p *protocol.Peer) { done <- p.Stats() }) {
+			// Stopping or stopped: wait for every goroutine to drain, after
+			// which nothing else touches the peer and a direct read is safe.
+			n.wg.Wait()
+			done <- n.peer.Stats()
+		}
+	}()
+	select {
+	case ps := <-done:
+		s.Peer = ps
+		return s, true
+	case <-timeout:
+		return s, false
+	}
+}
+
+// LinkInfos snapshots the transport's outbound links (queue depth, live
+// session, pending backoff), sorted by peer ID. Safe to call concurrently
+// with a running node.
+func (n *Node) LinkInfos() []LinkInfo { return n.tr.linkInfos() }
+
+// Addresses returns a copy of the node's current address book.
+func (n *Node) Addresses() map[ids.PeerID]string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[ids.PeerID]string, len(n.addrs))
+	for id, addr := range n.addrs {
+		out[id] = addr
+	}
+	return out
+}
+
+// Drain gracefully shuts the node down: the peer stops calling new polls,
+// every in-flight poll runs to its conclusion (the protocol's guard timer
+// bounds that by one poll window plus grace), and only then is the node
+// stopped — which flushes and closes the durable store. Voter sessions keep
+// serving votes and repairs until the stop, so a draining node remains
+// useful to the population to its last moment. Cancelling ctx abandons the
+// wait and returns without stopping; a nil error means the node is down.
+// Draining an already-stopped node returns nil immediately.
+func (n *Node) Drain(ctx context.Context) error {
+	if !n.Inspect(func(p *protocol.Peer) { p.Drain() }) {
+		return nil // already stopped
+	}
+	n.logf("draining: no new polls; waiting for in-flight polls")
+	tick := time.NewTicker(50 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		idle := false
+		if !n.Inspect(func(p *protocol.Peer) { idle = p.ActivePolls() == 0 }) {
+			break // stopped underneath us; Stop below is idempotent
+		}
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	n.logf("drained: stopping")
+	n.Stop()
+	return nil
+}
+
+// DropConnections closes every live session (inbound and outbound) without
+// stopping the node. Peers re-establish on demand through the normal dial
+// path, so this is an operational "sever and let it heal" action — the fleet
+// harness uses it to make address-book partitions bite immediately instead
+// of waiting for established sessions to idle out.
+func (n *Node) DropConnections() {
+	n.mu.Lock()
+	conns := make([]*session.Conn, 0, len(n.all))
+	for c := range n.all {
+		conns = append(conns, c)
+	}
+	n.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
 // TransportStats snapshots the transport counters (sends, drops, dials,
 // redials, queue high-water, inbound admission). Safe to call concurrently
 // with a running node.

@@ -24,6 +24,7 @@ package node
 import (
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -167,6 +168,50 @@ func (t *transport) close() {
 	t.mu.Unlock()
 }
 
+// LinkInfo is an inspection snapshot of one outbound peer link (the admin
+// API's /peers endpoint renders these).
+type LinkInfo struct {
+	// Peer is the remote identity this link serves.
+	Peer ids.PeerID
+	// Connected reports a live session (handshake completed, no failure
+	// observed since).
+	Connected bool
+	// QueueDepth and QueueCap describe the bounded outbound queue.
+	QueueDepth int
+	QueueCap   int
+	// NextDial is the earliest next dial attempt while a backoff window is
+	// armed; the zero time means no backoff is pending.
+	NextDial time.Time
+}
+
+// linkInfos snapshots every outbound link, sorted by peer ID. Queue depth is
+// read racily (len on a channel is a point-in-time observation) and the
+// atomics are monotonic snapshots — good enough for observability, and no
+// lock the writer goroutines care about is held.
+func (t *transport) linkInfos() []LinkInfo {
+	t.mu.Lock()
+	links := make([]*peerLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
+	}
+	t.mu.Unlock()
+	out := make([]LinkInfo, 0, len(links))
+	for _, l := range links {
+		info := LinkInfo{
+			Peer:       l.to,
+			Connected:  l.up.Load(),
+			QueueDepth: len(l.q),
+			QueueCap:   cap(l.q),
+		}
+		if nano := l.nextDialNano.Load(); nano > 0 {
+			info.NextDial = time.Unix(0, nano)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
 // encodeBufs recycles wire-encoding scratch; buffers travel through the
 // per-peer queues and return to the pool after the frame is written or
 // dropped.
@@ -224,16 +269,24 @@ func (t *transport) link(to ids.PeerID) *peerLink {
 }
 
 // peerLink is one peer's outbound path: a bounded queue and the writer
-// goroutine that owns the connection to that peer. All fields below q are
-// writer-goroutine state, touched by no one else.
+// goroutine that owns the connection to that peer. The atomic fields are the
+// link's externally visible state (linkInfos snapshots them from any
+// goroutine); everything below them is writer-goroutine state, touched by no
+// one else.
 type peerLink struct {
 	t  *transport
 	to ids.PeerID
 	q  chan *[]byte
 
+	// up reports a live session to the peer (handshake completed, no
+	// failure observed since).
+	up atomic.Bool
+	// nextDialNano is the earliest next dial attempt, Unix nanoseconds
+	// (zero until the first failure arms a backoff window).
+	nextDialNano atomic.Int64
+
 	connected   bool          // a session existed at some point (dials after this are redials)
 	backoff     time.Duration // next backoff step after a dial failure
-	nextDial    time.Time     // earliest moment the next dial may start
 	connectedAt time.Time     // when the current session's handshake completed
 }
 
@@ -278,6 +331,7 @@ func (l *peerLink) run() {
 	defer n.wg.Done()
 	var pc *peerConn
 	defer func() {
+		l.up.Store(false)
 		if pc != nil {
 			pc.c.Close()
 		}
@@ -303,6 +357,7 @@ func (l *peerLink) deliver(pc *peerConn, frame []byte) *peerConn {
 		case <-pc.dead: // remote hung up
 			pc.c.Close()
 			pc = nil
+			l.up.Store(false)
 			// Schedule the reconnect through the backoff window: a
 			// crash-looping remote must not get an instant redial just
 			// because its death was noticed by the reader instead of a
@@ -329,6 +384,7 @@ func (l *peerLink) deliver(pc *peerConn, frame []byte) *peerConn {
 		t.n.logf("send to %v: %v", l.to, err)
 		t.drops.Add(1)
 		pc.c.Close()
+		l.up.Store(false)
 		// Arm the backoff here too: a peer that handshakes and then fails
 		// every write (crash loop, instant reset) must not trigger a
 		// zero-delay dial+DH spin — only a successful write proves the
@@ -356,7 +412,7 @@ func (l *peerLink) deliver(pc *peerConn, frame []byte) *peerConn {
 func (l *peerLink) connect() *peerConn {
 	t := l.t
 	n := t.n
-	if wait := time.Until(l.nextDial); wait > 0 {
+	if wait := time.Until(time.Unix(0, l.nextDialNano.Load())); wait > 0 {
 		timer := time.NewTimer(wait)
 		select {
 		case <-n.stop:
@@ -402,6 +458,7 @@ func (l *peerLink) connect() *peerConn {
 	c.SetWriteTimeout(t.cfg.writeTimeout)
 	l.connected = true
 	l.connectedAt = time.Now()
+	l.up.Store(true)
 	// The backoff value is NOT reset here: a handshake alone proves
 	// nothing against a peer that resets right after it. deliver resets it
 	// on the first successful write.
@@ -442,7 +499,7 @@ func (l *peerLink) dialFailed() {
 // attempted.
 func (l *peerLink) backoffNext() {
 	delay, next := jitteredBackoff(l.backoff, l.t.cfg.backoffMax, rand.Int63n)
-	l.nextDial = time.Now().Add(delay)
+	l.nextDialNano.Store(time.Now().Add(delay).UnixNano())
 	l.backoff = next
 }
 

@@ -368,7 +368,7 @@ func TestWriteFailureArmsBackoff(t *testing.T) {
 	if got := l.deliver(pc, []byte("frame")); got != nil {
 		t.Fatal("deliver returned a live conn after a write failure")
 	}
-	if !l.nextDial.After(before) {
+	if !time.Unix(0, l.nextDialNano.Load()).After(before) {
 		t.Error("write failure did not push nextDial into the future")
 	}
 	if l.backoff != 200*time.Millisecond {

@@ -26,10 +26,12 @@ const (
 
 // PeerStats counts protocol events at one peer.
 type PeerStats struct {
+	PollsStarted      uint64
 	PollsSucceeded    uint64
 	PollsInquorate    uint64
 	PollsInconclusive uint64
 	PollsRepairFailed uint64
+	Alarms            uint64
 	VotesSupplied     uint64
 	VotesReceived     uint64
 	InvitesConsidered uint64
@@ -105,6 +107,10 @@ type Peer struct {
 	pollSeq uint32
 	stats   PeerStats
 	started bool
+	// draining stops new polls from being called: in-flight polls run to
+	// conclusion, voter sessions keep serving, but concludePoll no longer
+	// schedules a successor. Set by Drain for graceful shutdown.
+	draining bool
 
 	// Reusable hot-path scratch. A Peer is single-threaded, and none of
 	// these escape a single protocol callback: ctxScratch backs effort
@@ -159,6 +165,44 @@ func (p *Peer) Ledger() *effort.Ledger { return p.ledger }
 
 // Stats returns a snapshot of the peer's counters.
 func (p *Peer) Stats() PeerStats { return p.stats }
+
+// PollsConcluded sums the per-outcome conclusion counters.
+func (s PeerStats) PollsConcluded() uint64 {
+	return s.PollsSucceeded + s.PollsInquorate + s.PollsInconclusive + s.PollsRepairFailed
+}
+
+// Drain stops the peer from calling new polls: every in-flight poll runs to
+// its conclusion (the guard timer bounds that), after which the AU sits idle
+// instead of starting a successor. Voter-side sessions keep serving votes and
+// repairs — a draining peer stays useful to the population until it is
+// stopped. Drain is irreversible for the life of the Peer.
+func (p *Peer) Drain() { p.draining = true }
+
+// Draining reports whether Drain has been called.
+func (p *Peer) Draining() bool { return p.draining }
+
+// ActivePolls counts AUs with a poller-side poll in flight. It reaches zero
+// only after Drain (a non-draining peer immediately replaces each concluded
+// poll with the next).
+func (p *Peer) ActivePolls() int {
+	n := 0
+	for _, au := range p.auOrder {
+		if p.aus[au].poll != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ActiveVoterSessions counts voter-side sessions currently committed to
+// other pollers' polls.
+func (p *Peer) ActiveVoterSessions() int {
+	n := 0
+	for _, au := range p.auOrder {
+		n += len(p.aus[au].sessions)
+	}
+	return n
+}
 
 // SetFriends installs the operator-maintained friends list.
 func (p *Peer) SetFriends(friends []ids.PeerID) {
@@ -287,6 +331,80 @@ func (p *Peer) SeedGrade(au content.AUID, peer ids.PeerID, g reputation.Grade) {
 		st.rep.Raise(reputation.Time(now), peer)
 		st.rep.Raise(reputation.Time(now), peer)
 	}
+}
+
+// RefEntry is one reference-list member with its current first-hand
+// reputation grade for the AU.
+type RefEntry struct {
+	Peer  ids.PeerID
+	Grade reputation.Grade
+}
+
+// AUInfo is a point-in-time snapshot of one AU's protocol state, built for
+// operator inspection (the admin API's /aus endpoint). It must be taken on
+// the peer's single thread — the real node routes it through Inspect.
+type AUInfo struct {
+	Spec       content.AUSpec
+	Generation uint64
+	// DamagedBlocks lists the replica's currently damaged block indices.
+	DamagedBlocks []int
+	// PollActive reports a poller-side poll in flight; PollDeadline is its
+	// scheduled conclusion time (zero when idle, which only happens while
+	// draining).
+	PollActive   bool
+	PollDeadline sched.Time
+	// Expedite reports a pending RaiseAuditPriority request.
+	Expedite bool
+	// LastSuccess is the conclusion time of the last successful poll
+	// (negative before the first).
+	LastSuccess sched.Time
+	// VoterSessions counts voter-side commitments to other pollers.
+	VoterSessions int
+	// RefList holds the reference list with grades, sorted by peer ID.
+	RefList []RefEntry
+}
+
+// AUInfo snapshots one AU, reporting false for AUs the peer does not
+// preserve.
+func (p *Peer) AUInfo(au content.AUID) (AUInfo, bool) {
+	st, ok := p.aus[au]
+	if !ok {
+		return AUInfo{}, false
+	}
+	info := AUInfo{
+		Spec:          st.spec,
+		Generation:    st.replica.Generation(),
+		Expedite:      st.expedite,
+		LastSuccess:   st.lastSuccess,
+		VoterSessions: len(st.sessions),
+	}
+	for _, d := range st.replica.Snapshot() {
+		info.DamagedBlocks = append(info.DamagedBlocks, d.Block)
+	}
+	if st.poll != nil {
+		info.PollActive = true
+		info.PollDeadline = st.poll.deadline
+	}
+	now := repTime(p.env.Now())
+	members := make([]ids.PeerID, 0, len(st.refList))
+	for id := range st.refList {
+		members = append(members, id)
+	}
+	sortPeers(members)
+	for _, id := range members {
+		info.RefList = append(info.RefList, RefEntry{Peer: id, Grade: st.rep.GradeOf(now, id)})
+	}
+	return info, ok
+}
+
+// AUInfos snapshots every preserved AU in registration order.
+func (p *Peer) AUInfos() []AUInfo {
+	out := make([]AUInfo, 0, len(p.auOrder))
+	for _, au := range p.auOrder {
+		info, _ := p.AUInfo(au)
+		out = append(out, info)
+	}
+	return out
 }
 
 // RaiseAuditPriority asks for the poll *after* the in-flight one on an AU

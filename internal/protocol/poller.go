@@ -111,9 +111,15 @@ func (p *Peer) newSolicitation(peer ids.PeerID, outer bool) *solicitation {
 	return sol
 }
 
-// startPoll begins a new poll on the AU, to conclude at deadline.
+// startPoll begins a new poll on the AU, to conclude at deadline. A
+// draining peer calls no new polls: the AU stays idle (st.poll == nil) and
+// ActivePolls eventually reaches zero.
 func (p *Peer) startPoll(st *auState, deadline sched.Time) {
+	if p.draining {
+		return
+	}
 	p.gcSchedule()
+	p.stats.PollsStarted++
 	p.pollSeq++
 	poll := p.newPollState()
 	poll.id = uint64(p.id)<<32 | uint64(p.pollSeq)
@@ -454,6 +460,7 @@ func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
 		}
 	case OutcomeInconclusive:
 		p.stats.PollsInconclusive++
+		p.stats.Alarms++
 		p.obs.Alarm(p.id, st.spec.ID, now)
 	case OutcomeRepairFailed:
 		p.stats.PollsRepairFailed++
