@@ -167,18 +167,28 @@ func openStoreAUs(dataDir string, id uint64, aus int, auSize, blockSize int64) (
 			if have[name] {
 				continue // already preserved; the store copy is authoritative
 			}
-			data, err := os.ReadFile(filepath.Join(dataDir, name))
+			f, err := os.Open(filepath.Join(dataDir, name))
 			if err != nil {
+				st.Close()
+				return nil, nil, err
+			}
+			fi, err := f.Stat()
+			if err != nil {
+				f.Close()
 				st.Close()
 				return nil, nil, err
 			}
 			spec := content.AUSpec{
 				ID:        nextID,
 				Name:      name,
-				Size:      int64(len(data)),
+				Size:      fi.Size(),
 				BlockSize: blockSize,
 			}
-			if _, err := st.Create(spec, id<<16|uint64(spec.ID), data); err != nil {
+			// Stream the file into the store block by block — an archive-sized
+			// AU never sits in memory on either side of the copy.
+			_, err = st.CreateFrom(spec, id<<16|uint64(spec.ID), f)
+			f.Close()
+			if err != nil {
 				st.Close()
 				return nil, nil, err
 			}
@@ -193,7 +203,7 @@ func openStoreAUs(dataDir string, id uint64, aus int, auSize, blockSize int64) (
 				Size:      auSize,
 				BlockSize: blockSize,
 			}
-			if _, err := st.Create(spec, id<<16|uint64(i), content.PublisherBytes(spec)); err != nil {
+			if _, err := st.CreateFrom(spec, id<<16|uint64(i), content.PublisherReader(spec)); err != nil {
 				st.Close()
 				return nil, nil, err
 			}
@@ -208,8 +218,9 @@ func openStoreAUs(dataDir string, id uint64, aus int, auSize, blockSize int64) (
 }
 
 // verifyStore is the -verify-store mode: check every block of every AU
-// against its manifest and report. Exit 0 only if the store loads and every
-// block verifies.
+// against its manifest and report. Read errors are part of the report, not
+// an early exit — one unreadable block must not mask rot found elsewhere.
+// Exit 0 only if the store loads and every block verifies.
 func verifyStore(dataDir string) int {
 	st, err := store.Open(dataDir)
 	if err != nil {
@@ -217,12 +228,12 @@ func verifyStore(dataDir string) int {
 		return 1
 	}
 	defer st.Close()
-	dam, err := st.VerifyAll()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "lockss-node: verify: %v\n", err)
-		return 1
-	}
+	dam := st.VerifyAll()
 	for _, d := range dam {
+		if d.Unreadable {
+			fmt.Printf("AU %d block %d UNREADABLE (marked=%v): %v\n", d.AU, d.Block, d.Marked, d.Err)
+			continue
+		}
 		fmt.Printf("AU %d block %d DAMAGED (marked=%v)\n", d.AU, d.Block, d.Marked)
 	}
 	total := 0
@@ -245,6 +256,8 @@ type nodeFlags struct {
 	maxIn     int
 	maxInIP   int
 	scrubPace time.Duration
+	scrubWork int
+	scrubBW   int64
 	dataDir   string
 	inject    string
 	verify    bool
@@ -276,6 +289,12 @@ func (f nodeFlags) validate() error {
 	if f.scrubPace < 0 {
 		return fmt.Errorf("-scrub-pace must be >= 0 (got %v)", f.scrubPace)
 	}
+	if f.scrubWork < 1 {
+		return fmt.Errorf("-scrub-workers must be >= 1 (got %d)", f.scrubWork)
+	}
+	if f.scrubBW < 0 {
+		return fmt.Errorf("-scrub-bandwidth must be >= 0 (got %d)", f.scrubBW)
+	}
 	if f.inject != "" && f.dataDir == "" {
 		return fmt.Errorf("-inject-damage requires -data-dir")
 	}
@@ -301,6 +320,8 @@ func main() {
 		inject    = flag.String("inject-damage", "", "flip bits on disk in AU:BLOCK (or AU:rand) at startup; requires -data-dir")
 		verify    = flag.Bool("verify-store", false, "verify every block in -data-dir against its manifest and exit")
 		scrubPace = flag.Duration("scrub-pace", time.Second, "pause between background scrub block verifications")
+		scrubWork = flag.Int("scrub-workers", 1, "concurrent scrub workers sharding the store's AUs")
+		scrubBW   = flag.Int64("scrub-bandwidth", 0, "total scrub read budget in bytes/second across all workers (0 = unlimited)")
 		statsIvl  = flag.Duration("stats-interval", 0, "print a one-line stats snapshot this often (0 = only at exit)")
 		record    = flag.String("record", "", "record this node's protocol event stream to a trace.jsonl for offline replay (lockss-replay)")
 	)
@@ -310,7 +331,8 @@ func main() {
 
 	nf := nodeFlags{
 		id: *id, sendQ: *sendQ, maxIn: *maxIn, maxInIP: *maxInIP,
-		scrubPace: *scrubPace, dataDir: *dataDir, inject: *inject, verify: *verify,
+		scrubPace: *scrubPace, scrubWork: *scrubWork, scrubBW: *scrubBW,
+		dataDir: *dataDir, inject: *inject, verify: *verify,
 	}
 	if err := nf.validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "lockss-node: %v\n", err)
@@ -442,6 +464,8 @@ func main() {
 		MaxInboundPerAddr: *maxInIP,
 		Store:             st,
 		ScrubPace:         *scrubPace,
+		ScrubWorkers:      *scrubWork,
+		ScrubBandwidth:    *scrubBW,
 		Logf: func(format string, args ...any) {
 			if *verbose {
 				log.Printf(format, args...)
@@ -619,6 +643,9 @@ func main() {
 		log.Printf("store: scanned=%d verified=%d damaged=%d repaired=%d passes=%d manifest-writes=%d injected=%d",
 			s.Store.BlocksScanned, s.Store.BlocksVerified, s.Store.BlocksDamaged, s.Store.BlocksRepaired,
 			s.Store.ScrubPasses, s.Store.ManifestWrites, s.Store.DamageInjected)
+		log.Printf("store io: ingested=%dB scrubbed=%dB manifest mutations=%d commits=%d fsyncs=%d",
+			s.Store.BytesIngested, s.Store.BytesScrubbed, s.Store.ManifestMutations,
+			s.Store.ManifestCommits, s.Store.Fsyncs)
 	}
 }
 

@@ -14,6 +14,7 @@ func okFlags() nodeFlags {
 		maxIn:     256,
 		maxInIP:   64,
 		scrubPace: time.Second,
+		scrubWork: 1,
 	}
 }
 
@@ -31,6 +32,10 @@ func TestValidateFlags(t *testing.T) {
 		{"zero max-inbound-addr", func(f *nodeFlags) { f.maxInIP = 0 }, "-max-inbound-addr"},
 		{"negative scrub pace", func(f *nodeFlags) { f.scrubPace = -time.Second }, "-scrub-pace"},
 		{"zero scrub pace ok", func(f *nodeFlags) { f.scrubPace = 0 }, ""},
+		{"zero scrub workers", func(f *nodeFlags) { f.scrubWork = 0 }, "-scrub-workers"},
+		{"many scrub workers ok", func(f *nodeFlags) { f.scrubWork = 8 }, ""},
+		{"negative scrub bandwidth", func(f *nodeFlags) { f.scrubBW = -1 }, "-scrub-bandwidth"},
+		{"zero scrub bandwidth ok", func(f *nodeFlags) { f.scrubBW = 0 }, ""},
 		{"inject without data-dir", func(f *nodeFlags) { f.inject = "1:2" }, "-inject-damage requires -data-dir"},
 		{"inject with data-dir", func(f *nodeFlags) { f.inject = "1:2"; f.dataDir = "/tmp/x" }, ""},
 		{"verify without data-dir", func(f *nodeFlags) { f.verify = true }, "-verify-store requires -data-dir"},

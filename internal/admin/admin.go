@@ -210,6 +210,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		add("lockss_store_blocks_repaired_total", "counter", float64(ss.BlocksRepaired))
 		add("lockss_store_scrub_passes_total", "counter", float64(ss.ScrubPasses))
 		add("lockss_store_manifest_writes_total", "counter", float64(ss.ManifestWrites))
+		add("lockss_store_manifest_mutations_total", "counter", float64(ss.ManifestMutations))
+		add("lockss_store_manifest_commits_total", "counter", float64(ss.ManifestCommits))
+		add("lockss_store_fsyncs_total", "counter", float64(ss.Fsyncs))
+		add("lockss_store_bytes_ingested_total", "counter", float64(ss.BytesIngested))
+		add("lockss_store_bytes_scrubbed_total", "counter", float64(ss.BytesScrubbed))
 		add("lockss_store_damage_injected_total", "counter", float64(ss.DamageInjected))
 	}
 

@@ -26,6 +26,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash"
+	"io"
 	"slices"
 )
 
@@ -347,6 +348,43 @@ func PublisherBytes(spec AUSpec) []byte {
 		fill = sha256.Sum256(fill[:])
 	}
 	return data
+}
+
+// PublisherReader streams the publisher's canonical content for spec — the
+// exact bytes PublisherBytes materializes, produced incrementally — so
+// archive-sized synthetic AUs can flow through Store.CreateFrom without ever
+// existing in memory.
+func PublisherReader(spec AUSpec) io.Reader {
+	var seed [8]byte
+	binary.BigEndian.PutUint32(seed[:4], uint32(spec.ID))
+	return &pubReader{fill: sha256.Sum256(seed[:]), rem: spec.Size}
+}
+
+type pubReader struct {
+	fill [sha256.Size]byte
+	off  int
+	rem  int64
+}
+
+func (r *pubReader) Read(p []byte) (int, error) {
+	if r.rem <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.rem {
+		p = p[:r.rem]
+	}
+	n := 0
+	for n < len(p) {
+		if r.off == len(r.fill) {
+			r.fill = sha256.Sum256(r.fill[:])
+			r.off = 0
+		}
+		c := copy(p[n:], r.fill[r.off:])
+		n += c
+		r.off += c
+	}
+	r.rem -= int64(n)
+	return n, nil
 }
 
 // NewRealReplica starts a replica from the publisher's canonical content.

@@ -342,3 +342,34 @@ func TestLastPartialBlock(t *testing.T) {
 		t.Error("partial block repair failed")
 	}
 }
+
+// TestPublisherReaderMatchesBytes: the streaming publisher source must
+// produce the exact bytes PublisherBytes materializes — including sizes that
+// end mid-way through a hash-chain step — under any read granularity.
+func TestPublisherReaderMatchesBytes(t *testing.T) {
+	for _, size := range []int64{0, 1, 31, 32, 33, 4096, 100_003} {
+		spec := AUSpec{ID: 12, Name: "stream", Size: size, BlockSize: 1024}
+		want := PublisherBytes(spec)
+		var got bytes.Buffer
+		if _, err := got.ReadFrom(PublisherReader(spec)); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("size %d: streamed bytes differ from PublisherBytes", size)
+		}
+		// Byte-at-a-time reads must agree too.
+		r := PublisherReader(spec)
+		one := make([]byte, 1)
+		for i := int64(0); i < size; i++ {
+			if _, err := r.Read(one); err != nil {
+				t.Fatalf("size %d byte %d: %v", size, i, err)
+			}
+			if one[0] != want[i] {
+				t.Fatalf("size %d: byte %d differs under 1-byte reads", size, i)
+			}
+		}
+		if _, err := r.Read(one); err == nil {
+			t.Fatalf("size %d: no EOF past the end", size)
+		}
+	}
+}

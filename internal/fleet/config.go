@@ -112,6 +112,10 @@ type Config struct {
 	// restart with pristine publisher content.
 	DataDir   string   `json:"data_dir,omitempty"`
 	ScrubPace Duration `json:"scrub_pace,omitempty"`
+	// ScrubWorkers shards each node's scrubber; ScrubBandwidth caps its
+	// total read rate in bytes/second (0 = unlimited). See store.ScrubConfig.
+	ScrubWorkers   int   `json:"scrub_workers,omitempty"`
+	ScrubBandwidth int64 `json:"scrub_bandwidth,omitempty"`
 	// Transport knobs, as in lockss-node.
 	SendQueue         int `json:"send_queue,omitempty"`
 	MaxInbound        int `json:"max_inbound,omitempty"`
@@ -156,6 +160,9 @@ func (c Config) withDefaults() Config {
 	if c.ScrubPace == 0 {
 		c.ScrubPace = Duration(50 * time.Millisecond)
 	}
+	if c.ScrubWorkers == 0 {
+		c.ScrubWorkers = 1
+	}
 	if c.SendQueue == 0 {
 		c.SendQueue = 128
 	}
@@ -182,6 +189,12 @@ func (c Config) Validate() error {
 	}
 	if c.Quorum > c.InnerCircle {
 		return fmt.Errorf("fleet: quorum %d exceeds inner_circle %d", c.Quorum, c.InnerCircle)
+	}
+	if c.ScrubWorkers < 0 {
+		return fmt.Errorf("fleet: scrub_workers must be >= 0 (got %d)", c.ScrubWorkers)
+	}
+	if c.ScrubBandwidth < 0 {
+		return fmt.Errorf("fleet: scrub_bandwidth must be >= 0 (got %d)", c.ScrubBandwidth)
 	}
 	for i, f := range c.Faults {
 		if err := c.validateFault(f); err != nil {

@@ -140,7 +140,7 @@ func (f *Fleet) buildNode(m *member) error {
 		if len(st.AUs()) == 0 {
 			for i := 0; i < f.cfg.AUs; i++ {
 				spec := f.auSpec(i)
-				if _, err := st.Create(spec, m.seed<<16|uint64(spec.ID), content.PublisherBytes(spec)); err != nil {
+				if _, err := st.CreateFrom(spec, m.seed<<16|uint64(spec.ID), content.PublisherReader(spec)); err != nil {
 					st.Close()
 					return fmt.Errorf("fleet: node %d ingest AU %d: %w", m.id, spec.ID, err)
 				}
@@ -170,6 +170,8 @@ func (f *Fleet) buildNode(m *member) error {
 		MaxInboundPerAddr: f.cfg.MaxInboundPerAddr,
 		Store:             m.st,
 		ScrubPace:         time.Duration(f.cfg.ScrubPace),
+		ScrubWorkers:      f.cfg.ScrubWorkers,
+		ScrubBandwidth:    f.cfg.ScrubBandwidth,
 	})
 	if err != nil {
 		if m.st != nil {
@@ -600,11 +602,8 @@ func (f *Fleet) verifyStores() (int, error) {
 		if err != nil {
 			return 0, fmt.Errorf("fleet: verify node %d: %w", m.id, err)
 		}
-		dam, err := st.VerifyAll()
+		dam := st.VerifyAll()
 		st.Close()
-		if err != nil {
-			return 0, fmt.Errorf("fleet: verify node %d: %w", m.id, err)
-		}
 		unrepaired += len(dam)
 	}
 	return unrepaired, nil

@@ -81,8 +81,8 @@ func recordClusterTrace(t *testing.T) []byte {
 	}()
 
 	if !WaitFor(45*time.Second, 100*time.Millisecond, func() bool {
-		dam, err := stores[0].VerifyAll()
-		return err == nil && dam == nil && !stores[0].Replica(spec.ID).Damaged()
+		dam := stores[0].VerifyAll()
+		return dam == nil && !stores[0].Replica(spec.ID).Damaged()
 	}) {
 		succ, other, repairs := obs.snapshot()
 		t.Fatalf("recorded node never repaired (polls ok=%d other=%d repairs=%d)", succ, other, repairs)

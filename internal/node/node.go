@@ -100,6 +100,12 @@ type Config struct {
 	// ScrubPace is the pause between scrubbed blocks (see
 	// store.ScrubConfig.Pace). Default 1s.
 	ScrubPace time.Duration
+	// ScrubWorkers shards the scrubber across this many concurrent workers
+	// (see store.ScrubConfig.Workers). Default 1.
+	ScrubWorkers int
+	// ScrubBandwidth caps the scrubber's total read rate in bytes/second
+	// across all workers (see store.ScrubConfig.Bandwidth). 0 = unlimited.
+	ScrubBandwidth int64
 }
 
 // Node is a running peer.
@@ -397,7 +403,9 @@ func (n *Node) Start() error {
 		// scrubber re-observes unrepaired damage every pass, re-raising the
 		// priority until a poll heals the block.
 		n.cfg.Store.StartScrub(store.ScrubConfig{
-			Pace: n.cfg.ScrubPace,
+			Pace:      n.cfg.ScrubPace,
+			Workers:   n.cfg.ScrubWorkers,
+			Bandwidth: n.cfg.ScrubBandwidth,
 			OnDamage: func(au content.AUID, block int) {
 				n.logf("scrub: AU %d block %d damaged on disk", au, block)
 				n.post(func() {

@@ -1,0 +1,314 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lockss/internal/content"
+)
+
+// The storage benchmarks measure the three archive-scale paths this package
+// optimizes: streaming ingest throughput, manifest fsync amortization under
+// group commit, and scrub throughput versus worker count. `go test -bench .
+// ./internal/store` runs them; TestBenchSnapshot (gated on LOCKSS_BENCH_OUT)
+// distills the same measurements into one machine-readable BENCH_8.json for
+// docs/BENCHMARKS.md and CI.
+
+func benchSpec(id content.AUID, size, blockSize int64) content.AUSpec {
+	return content.AUSpec{ID: id, Name: fmt.Sprintf("bench-%d", id), Size: size, BlockSize: blockSize}
+}
+
+// BenchmarkIngest streams publisher content through CreateFrom; b.SetBytes
+// makes `go test -bench` report MB/s.
+func BenchmarkIngest(b *testing.B) {
+	const size = 64 << 20
+	spec := benchSpec(1, size, 64<<10)
+	b.SetBytes(size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := s.CreateFrom(spec, 1, content.PublisherReader(spec)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// corruptAllBlocks rots every block of the AU directly on disk, behind the
+// store's back — the manifest-mutation workload generator: a marking scrub
+// pass over the result mutates the manifest once per block with no block
+// writes in the measured path.
+func corruptAllBlocks(tb testing.TB, s *Store, spec content.AUSpec) {
+	tb.Helper()
+	f, err := os.OpenFile(filepath.Join(s.auDir(spec.ID), blocksName), os.O_RDWR, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	for i := 0; i < spec.Blocks(); i++ {
+		lo, _ := blockRange(spec, i)
+		if _, err := f.ReadAt(b[:], lo); err != nil {
+			tb.Fatal(err)
+		}
+		b[0] ^= 0xFF // flip, never overwrite: guaranteed to differ
+		if _, err := f.WriteAt(b[:], lo); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+// markingPass runs exactly one unpaced scrub pass, which marks every
+// corrupted block: one manifest mutation per block.
+func markingPass(tb testing.TB, s *Store, workers int) {
+	tb.Helper()
+	s.StartScrub(ScrubConfig{Pace: -1, PassPause: time.Hour, Workers: workers})
+	deadline := time.Now().Add(2 * time.Minute)
+	base := s.Stats().ScrubPasses
+	for s.Stats().ScrubPasses == base {
+		if time.Now().After(deadline) {
+			tb.Fatal("scrub pass did not finish")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.StopScrub()
+}
+
+// fsyncComparison measures the fsync and manifest-write cost of one marking
+// pass over nBlocks corrupted blocks, group commit versus per-mutation
+// replacement, at equal durability (the marks are re-derivable either way).
+func fsyncComparison(tb testing.TB, group bool, nBlocks int) (mutations, writes, commits, fsyncs uint64, elapsed time.Duration) {
+	tb.Helper()
+	spec := benchSpec(1, int64(nBlocks)<<12, 4<<10)
+	s, err := OpenWith(tb.TempDir(), Options{NoGroupCommit: !group})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Create(spec, 1, content.PublisherBytes(spec)); err != nil {
+		tb.Fatal(err)
+	}
+	corruptAllBlocks(tb, s, spec)
+	base := s.Stats()
+	start := time.Now()
+	markingPass(tb, s, 1)
+	// Equal durability: the measured region ends only when every mark is on
+	// disk, so the group-commit side pays for its final train too.
+	if err := s.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	elapsed = time.Since(start)
+	st := s.Stats()
+	return st.ManifestMutations - base.ManifestMutations,
+		st.ManifestWrites - base.ManifestWrites,
+		st.ManifestCommits - base.ManifestCommits,
+		st.Fsyncs - base.Fsyncs,
+		elapsed
+}
+
+// BenchmarkManifestMarks measures a marking scrub pass (one manifest mutation
+// per block) with and without group commit.
+func BenchmarkManifestMarks(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		group bool
+	}{{"group-commit", true}, {"per-mutation", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fsyncComparison(b, mode.group, 256)
+			}
+		})
+	}
+}
+
+// BenchmarkScrubWorkers measures one full scrub pass over a sharded store at
+// increasing worker counts.
+func BenchmarkScrubWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			const nAU, auSize = 8, int64(4 << 20)
+			s, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			for id := content.AUID(1); id <= nAU; id++ {
+				spec := benchSpec(id, auSize, 64<<10)
+				if _, err := s.CreateFrom(spec, uint64(id), content.PublisherReader(spec)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(nAU * auSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				markingPass(b, s, workers)
+			}
+		})
+	}
+}
+
+// benchReport is the BENCH_8.json schema.
+type benchReport struct {
+	// Ingest: streaming a synthetic AU through CreateFrom.
+	IngestBytes      int64   `json:"ingest_bytes"`
+	IngestSeconds    float64 `json:"ingest_seconds"`
+	IngestMBPerSec   float64 `json:"ingest_mb_per_sec"`
+	PeakHeapBytes    uint64  `json:"peak_heap_bytes"`
+	PeakHeapOverBase uint64  `json:"peak_heap_over_baseline_bytes"`
+	BufferBoundBytes int64   `json:"buffer_bound_bytes"`
+	BufferUnderBound bool    `json:"buffer_under_bound"`
+
+	// Manifest commit: one marking scrub pass over N corrupted blocks.
+	MarkBlocks          int     `json:"mark_blocks"`
+	GroupFsyncs         uint64  `json:"group_fsyncs"`
+	GroupWrites         uint64  `json:"group_manifest_writes"`
+	GroupCommits        uint64  `json:"group_commits"`
+	GroupSeconds        float64 `json:"group_seconds"`
+	PerMutationFsyncs   uint64  `json:"per_mutation_fsyncs"`
+	PerMutationWrites   uint64  `json:"per_mutation_manifest_writes"`
+	PerMutationSeconds  float64 `json:"per_mutation_seconds"`
+	FsyncReductionRatio float64 `json:"fsync_reduction_ratio"`
+
+	// Scrub: MB/s of one unpaced pass versus worker count.
+	ScrubBytes    int64              `json:"scrub_bytes"`
+	ScrubMBPerSec map[string]float64 `json:"scrub_mb_per_sec_by_workers"`
+}
+
+// TestBenchSnapshot runs the full storage benchmark suite once and writes the
+// machine-readable snapshot to $LOCKSS_BENCH_OUT (skipped when unset — this
+// is a measurement, not a correctness gate, except for the two acceptance
+// bounds it does assert: bounded ingest buffering and >= 5x fsync reduction).
+// $LOCKSS_BENCH_INGEST_BYTES overrides the ingest size (default 1 GiB).
+func TestBenchSnapshot(t *testing.T) {
+	out := os.Getenv("LOCKSS_BENCH_OUT")
+	if out == "" {
+		t.Skip("set LOCKSS_BENCH_OUT=path to run the benchmark snapshot")
+	}
+	var rep benchReport
+
+	// --- Streaming ingest, with a heap sampler watching peak buffering.
+	ingestBytes := int64(1 << 30)
+	if v := os.Getenv("LOCKSS_BENCH_INGEST_BYTES"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &ingestBytes); err != nil {
+			t.Fatalf("bad LOCKSS_BENCH_INGEST_BYTES %q: %v", v, err)
+		}
+	}
+	spec := benchSpec(1, ingestBytes, 64<<10)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	baseline := ms.HeapInuse
+	var peak atomic.Uint64
+	stopSampler := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		for {
+			select {
+			case <-stopSampler:
+				return
+			default:
+			}
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			for {
+				cur := peak.Load()
+				if m.HeapInuse <= cur || peak.CompareAndSwap(cur, m.HeapInuse) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	start := time.Now()
+	if _, err := s.CreateFrom(spec, 1, content.PublisherReader(spec)); err != nil {
+		t.Fatal(err)
+	}
+	rep.IngestSeconds = time.Since(start).Seconds()
+	close(stopSampler)
+	<-samplerDone
+	s.Close()
+
+	rep.IngestBytes = ingestBytes
+	rep.IngestMBPerSec = float64(ingestBytes) / (1 << 20) / rep.IngestSeconds
+	rep.PeakHeapBytes = peak.Load()
+	if rep.PeakHeapBytes > baseline {
+		rep.PeakHeapOverBase = rep.PeakHeapBytes - baseline
+	}
+	rep.BufferBoundBytes = 64 << 20
+	rep.BufferUnderBound = rep.PeakHeapOverBase < uint64(rep.BufferBoundBytes)
+	if !rep.BufferUnderBound {
+		t.Errorf("ingest of %d bytes peaked %d bytes of heap over baseline, bound is %d",
+			ingestBytes, rep.PeakHeapOverBase, rep.BufferBoundBytes)
+	}
+
+	// --- Manifest fsync amortization: group commit vs per-mutation.
+	rep.MarkBlocks = 256
+	muts, gw, gc, gf, gsec := fsyncComparison(t, true, rep.MarkBlocks)
+	if muts != uint64(rep.MarkBlocks) {
+		t.Fatalf("group-commit pass made %d mutations, want %d", muts, rep.MarkBlocks)
+	}
+	rep.GroupFsyncs, rep.GroupWrites, rep.GroupCommits, rep.GroupSeconds = gf, gw, gc, gsec.Seconds()
+	muts, pw, _, pf, psec := fsyncComparison(t, false, rep.MarkBlocks)
+	if muts != uint64(rep.MarkBlocks) {
+		t.Fatalf("per-mutation pass made %d mutations, want %d", muts, rep.MarkBlocks)
+	}
+	rep.PerMutationFsyncs, rep.PerMutationWrites, rep.PerMutationSeconds = pf, pw, psec.Seconds()
+	if gf == 0 {
+		t.Fatal("group-commit pass recorded zero fsyncs")
+	}
+	rep.FsyncReductionRatio = float64(pf) / float64(gf)
+	if rep.FsyncReductionRatio < 5 {
+		t.Errorf("fsync reduction %.1fx (%d -> %d for %d mutations), want >= 5x",
+			rep.FsyncReductionRatio, pf, gf, rep.MarkBlocks)
+	}
+
+	// --- Scrub throughput vs workers.
+	const nAU, auSize = 8, int64(16 << 20)
+	rep.ScrubBytes = nAU * auSize
+	rep.ScrubMBPerSec = make(map[string]float64)
+	for _, workers := range []int{1, 2, 4} {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := content.AUID(1); id <= nAU; id++ {
+			sp := benchSpec(id, auSize, 64<<10)
+			if _, err := s.CreateFrom(sp, uint64(id), content.PublisherReader(sp)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		markingPass(t, s, workers)
+		el := time.Since(start).Seconds()
+		rep.ScrubMBPerSec[fmt.Sprintf("%d", workers)] = float64(rep.ScrubBytes) / (1 << 20) / el
+		s.Close()
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("benchmark snapshot written to %s:\n%s", out, data)
+}

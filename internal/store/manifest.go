@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"lockss/internal/content"
 )
@@ -174,11 +175,12 @@ func decodeManifest(data []byte) (*manifest, error) {
 	return m, nil
 }
 
-// writeManifest atomically replaces dir's manifest: encode to a temp file,
-// fsync it, rename over the live name, fsync the directory. A crash at any
-// point leaves either the previous or the new manifest intact.
-func writeManifest(dir string, m *manifest) error {
-	data := m.encode()
+// writeManifestBytes atomically replaces dir's manifest with pre-encoded
+// bytes: write to a temp file, fsync it, rename over the live name, fsync the
+// directory. A crash at any point leaves either the previous or the new
+// manifest intact. fsyncs, when non-nil, counts the fsync syscalls issued
+// (temp file plus directory) for the store's Stats.
+func writeManifestBytes(dir string, data []byte, fsyncs *atomic.Uint64) error {
 	tmp := filepath.Join(dir, manifestName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -194,6 +196,9 @@ func writeManifest(dir string, m *manifest) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: sync manifest: %w", err)
 	}
+	if fsyncs != nil {
+		fsyncs.Add(1)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("store: close manifest: %w", err)
@@ -202,7 +207,16 @@ func writeManifest(dir string, m *manifest) error {
 		os.Remove(tmp)
 		return fmt.Errorf("store: replace manifest: %w", err)
 	}
+	if fsyncs != nil {
+		fsyncs.Add(1)
+	}
 	return syncDir(dir)
+}
+
+// writeManifest atomically replaces dir's manifest (uncounted convenience
+// wrapper for tests and tools).
+func writeManifest(dir string, m *manifest) error {
+	return writeManifestBytes(dir, m.encode(), nil)
 }
 
 // readManifest loads and validates dir's manifest.

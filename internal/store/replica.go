@@ -14,7 +14,7 @@ import (
 // in memory), and repairs land through the crash-safe write path — block
 // bytes first, fsync, then the manifest atomically. Unlike the in-memory
 // implementations, a store Replica is safe for concurrent use: the node's
-// actor loop and the background scrubber serialize on an internal lock.
+// actor loop and the scrub workers serialize on an internal lock.
 type Replica struct {
 	st  *Store
 	dir string
@@ -22,6 +22,10 @@ type Replica struct {
 
 	mu sync.Mutex
 	f  *os.File
+	// persistedGen is the manifest generation durably on disk; the
+	// committer advances it as commit trains land. man.gen running ahead of
+	// it means the replica is dirty.
+	persistedGen uint64
 }
 
 // Spec implements content.Replica.
@@ -107,9 +111,9 @@ func (r *Replica) Damage(i int) bool {
 	}
 	r.man.marks[i] = mark
 	r.man.gen++
-	// A failed persist leaves the mark memory-only; the bytes on disk are
-	// corrupt regardless, and a scrub pass after a crash re-derives the
-	// mark, so the damage itself cannot be lost.
+	// The mark rides the next commit train; losing it to a crash is
+	// harmless — the bytes on disk are corrupt regardless, and a scrub pass
+	// re-derives the mark from them.
 	_ = r.persistLocked()
 	return true
 }
@@ -127,23 +131,27 @@ func (r *Replica) RepairBlock(i int) ([]byte, error) {
 
 // ApplyRepair implements content.Replica through the crash-safe write path:
 // the block bytes are written and fsynced first, then the manifest is
-// replaced atomically. A crash between the two leaves the old manifest — the
-// block still marked damaged — and the next scrub pass observes the healed
-// bytes and clears the mark. Repair data that does not match the ingest
-// digest is still written (the poll's landslide majority outranks our local
-// history) but the block stays marked, with a fresh mark, so scrubbing and
-// future polls keep pursuing it.
+// committed — through the group-commit barrier, so the call does not return
+// until the new manifest is on disk, but concurrent repairs share one fsync
+// train. A crash between the block write and the commit leaves the old
+// manifest — the block still marked damaged — and the next scrub pass
+// observes the healed bytes and clears the mark. Repair data that does not
+// match the ingest digest is still written (the poll's landslide majority
+// outranks our local history) but the block stays marked, with a fresh mark,
+// so scrubbing and future polls keep pursuing it.
 func (r *Replica) ApplyRepair(i int, data []byte) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if i < 0 || i >= r.man.spec.Blocks() {
+		r.mu.Unlock()
 		return fmt.Errorf("store: repair block %d out of range for %v", i, r.man.spec)
 	}
 	lo, hi := blockRange(r.man.spec, i)
 	if int64(len(data)) != hi-lo {
+		r.mu.Unlock()
 		return fmt.Errorf("store: repair for block %d has %d bytes, want %d", i, len(data), hi-lo)
 	}
 	if err := r.writeBlockLocked(i, data); err != nil {
+		r.mu.Unlock()
 		return err
 	}
 	sum := content.Hash(sha256.Sum256(data))
@@ -155,7 +163,14 @@ func (r *Replica) ApplyRepair(i int, data []byte) error {
 		r.man.marks[i] = r.freshMarkLocked()
 	}
 	r.man.gen++
-	if err := r.persistLocked(); err != nil {
+	err := r.persistLocked()
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Repairs are the crash-safety-critical manifest path: wait out the
+	// commit train (taken without r.mu — the committer needs it to encode).
+	if err := r.st.Flush(); err != nil {
 		return err
 	}
 	if healed {
@@ -164,20 +179,23 @@ func (r *Replica) ApplyRepair(i int, data []byte) error {
 	return nil
 }
 
-// verifyBlock reads block i, hashes it, and compares against the manifest.
-// With mark set, a mismatch records a fresh damage mark (persisted) and a
-// match clears a stale one — the scrubber's write side. A mark change that
-// fails to persist is rolled back and reported as an error, so counters and
-// OnDamage never claim durability the disk refused; the next pass retries.
-// It returns whether the block verified and whether the manifest now marks
-// it damaged.
-func (r *Replica) verifyBlock(i int, mark bool) (ok, marked bool, err error) {
+// verifyBlock reads block i into buf (grown as needed and returned for
+// reuse), hashes it, and compares against the manifest. With mark set, a
+// mismatch records a fresh damage mark and a match clears a stale one — the
+// scrubber's write side; mark changes ride the commit train (re-derivable
+// from the block bytes, so deferral loses nothing a crash could not already
+// take). Without group commit a mark change that fails to persist is rolled
+// back and reported as an error, so counters and OnDamage never claim
+// durability the disk refused; the next pass retries. It returns whether the
+// block verified and whether the manifest now marks it damaged.
+func (r *Replica) verifyBlock(i int, mark bool, buf []byte) (ok, marked bool, bufOut []byte, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	b, err := r.readBlockLocked(i, nil)
+	b, err := r.readBlockLocked(i, buf)
 	if err != nil {
-		return false, r.man.marks[i] != 0, err
+		return false, r.man.marks[i] != 0, buf, err
 	}
+	buf = b
 	sum := content.Hash(sha256.Sum256(b))
 	ok = sum == r.man.digests[i]
 	if mark {
@@ -190,7 +208,7 @@ func (r *Replica) verifyBlock(i int, mark bool) (ok, marked bool, err error) {
 				r.man.marks[i] = 0
 				r.man.gen--
 				r.man.events = prevEvents
-				return ok, false, err
+				return ok, false, buf, err
 			}
 			r.st.blocksDamaged.Add(1)
 		case ok && r.man.marks[i] != 0:
@@ -203,12 +221,12 @@ func (r *Replica) verifyBlock(i int, mark bool) (ok, marked bool, err error) {
 			if err := r.persistLocked(); err != nil {
 				r.man.marks[i] = prev
 				r.man.gen--
-				return ok, true, err
+				return ok, true, buf, err
 			}
 			r.st.blocksRepaired.Add(1)
 		}
 	}
-	return ok, r.man.marks[i] != 0, nil
+	return ok, r.man.marks[i] != 0, buf, nil
 }
 
 // injectDamage flips the bits of one byte in the middle of the block,
@@ -232,7 +250,11 @@ func (r *Replica) injectDamage(i int) error {
 	if _, err := r.f.WriteAt(b[:], off); err != nil {
 		return fmt.Errorf("store: inject damage: %w", err)
 	}
-	return r.f.Sync()
+	if err := r.f.Sync(); err != nil {
+		return err
+	}
+	r.st.fsyncs.Add(1)
+	return nil
 }
 
 // freshMarkLocked derives a new replica-unique damage mark and persists the
@@ -275,15 +297,27 @@ func (r *Replica) writeBlockLocked(i int, b []byte) error {
 	if err := r.f.Sync(); err != nil {
 		return fmt.Errorf("store: sync block %d of %v: %w", i, r.man.spec, err)
 	}
+	r.st.fsyncs.Add(1)
 	return nil
 }
 
-// persistLocked writes the manifest atomically.
+// persistLocked makes the manifest mutation just applied durable: under
+// group commit it marks the replica dirty for the committer and returns
+// immediately (ApplyRepair adds the Flush barrier on top); without group
+// commit it replaces the manifest synchronously, the pre-batching behavior.
+// Called with r.mu held.
 func (r *Replica) persistLocked() error {
-	if err := writeManifest(r.dir, r.man); err != nil {
+	r.st.manifestMutations.Add(1)
+	if c := r.st.committer; c != nil {
+		c.markDirty(r)
+		return nil
+	}
+	if err := writeManifestBytes(r.dir, r.man.encode(), &r.st.fsyncs); err != nil {
 		return err
 	}
+	r.persistedGen = r.man.gen
 	r.st.manifestWrites.Add(1)
+	r.st.manifestCommits.Add(1)
 	return nil
 }
 

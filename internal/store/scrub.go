@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync"
 	"time"
 
 	"lockss/internal/content"
@@ -8,35 +9,51 @@ import (
 
 // ScrubConfig paces the background scrubber.
 type ScrubConfig struct {
-	// Pace is the pause between consecutive block verifications. Scrubbing
-	// is deliberately slow — the paper's threat is rot over decades, and a
-	// scrubber that saturates the disk starves the node it serves. Demos
-	// and tests turn it down. Default 1s.
+	// Pace is the pause each worker takes between consecutive block
+	// verifications. Scrubbing is deliberately slow — the paper's threat is
+	// rot over decades, and a scrubber that saturates the disk starves the
+	// node it serves. Demos and tests turn it down. Default 1s; negative
+	// means no pause (benchmarks).
 	Pace time.Duration
 	// PassPause is the extra rest between full passes over the store.
-	// Default 10x Pace.
+	// Default 10x Pace; negative means none.
 	PassPause time.Duration
+	// Workers shards the store across this many concurrent scrub workers:
+	// replica i of a pass goes to worker i mod Workers, so throughput
+	// scales with AUs instead of serializing thousands of them behind one
+	// goroutine. Default 1.
+	Workers int
+	// Bandwidth is a global read budget in bytes/second shared by every
+	// worker through one token bucket — the knob that keeps a many-worker
+	// scrub from starving foreground reads no matter how many AUs it
+	// shards. 0 means unlimited.
+	Bandwidth int64
 	// OnDamage, if non-nil, is called for every damaged block each pass
 	// observes — newly marked or still unrepaired — so the node can keep
-	// the AU's audit priority raised until the damage is gone. It runs on
-	// the scrubber goroutine (outside all store locks) and must not block:
-	// a wedged callback wedges the pass and, through StopScrub, Close.
+	// the AU's audit priority raised until the damage is gone. With
+	// Workers > 1 it is called concurrently from multiple scrub goroutines
+	// (outside all store locks) and must not block: a wedged callback
+	// wedges the pass and, through StopScrub, Close.
 	OnDamage func(au content.AUID, block int)
 }
 
 // withDefaults fills zero fields.
 func (c ScrubConfig) withDefaults() ScrubConfig {
-	if c.Pace <= 0 {
+	if c.Pace == 0 {
 		c.Pace = time.Second
 	}
-	if c.PassPause <= 0 {
+	if c.PassPause == 0 && c.Pace > 0 {
 		c.PassPause = 10 * c.Pace
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }
 
-// StartScrub launches the background scrubber: an endless, paced, sequential
-// verification of every block of every AU against its manifest. Mismatched
+// StartScrub launches the background scrubber: an endless, paced
+// verification of every block of every AU against its manifest, sharded
+// across cfg.Workers goroutines under one shared byte budget. Mismatched
 // blocks gain a persisted damage mark (raising their audit priority through
 // OnDamage); marked blocks whose bytes verify again — a repair that landed,
 // or a crash-interrupted repair whose manifest write never happened — have
@@ -57,8 +74,8 @@ func (s *Store) StartScrub(cfg ScrubConfig) {
 	go s.scrubLoop(cfg, stop)
 }
 
-// StopScrub halts the scrubber and waits for it to exit. Safe to call when
-// none is running.
+// StopScrub halts the scrubber and waits for it (and every worker) to exit.
+// Safe to call when none is running.
 func (s *Store) StopScrub() {
 	s.mu.Lock()
 	stop := s.scrubStop
@@ -70,43 +87,162 @@ func (s *Store) StopScrub() {
 	s.scrubWG.Wait()
 }
 
-// scrubLoop is the scrubber goroutine.
+// scrubLoop coordinates passes: each pass snapshots the replica list, deals
+// it round-robin into Workers shards, runs the shards concurrently, and
+// counts the pass only when every shard finished it.
 func (s *Store) scrubLoop(cfg ScrubConfig, stop chan struct{}) {
 	defer s.scrubWG.Done()
-	pace := time.NewTimer(cfg.Pace)
-	defer pace.Stop()
-	wait := func(d time.Duration) bool {
-		pace.Reset(d)
+	bucket := newTokenBucket(cfg.Bandwidth)
+	for {
+		reps := s.Replicas()
+		shards := make([][]*Replica, cfg.Workers)
+		for i, r := range reps {
+			shards[i%cfg.Workers] = append(shards[i%cfg.Workers], r)
+		}
+		var wg sync.WaitGroup
+		for _, shard := range shards {
+			if len(shard) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(shard []*Replica) {
+				defer wg.Done()
+				s.scrubShard(shard, cfg, bucket, stop)
+			}(shard)
+		}
+		wg.Wait()
+		select {
+		case <-stop:
+			return // workers bailed mid-pass; don't count it
+		default:
+		}
+		s.scrubPasses.Add(1)
+		if !sleepOrStop(cfg.PassPause, stop) {
+			return
+		}
+	}
+}
+
+// scrubShard verifies one worker's share of a pass, reusing one read buffer
+// across its blocks.
+func (s *Store) scrubShard(shard []*Replica, cfg ScrubConfig, bucket *tokenBucket, stop chan struct{}) {
+	var buf []byte
+	for _, r := range shard {
+		spec := r.Spec()
+		for i := 0; i < spec.Blocks(); i++ {
+			if !sleepOrStop(cfg.Pace, stop) {
+				return
+			}
+			lo, hi := blockRange(spec, i)
+			if !bucket.take(hi-lo, stop) {
+				return
+			}
+			var ok, marked bool
+			var err error
+			ok, marked, buf, err = r.verifyBlock(i, true, buf)
+			s.blocksScanned.Add(1)
+			s.bytesScrubbed.Add(uint64(hi - lo))
+			if err != nil {
+				continue // unreadable now; retried next pass
+			}
+			if ok && !marked {
+				s.blocksVerified.Add(1)
+			}
+			if marked && cfg.OnDamage != nil {
+				cfg.OnDamage(spec.ID, i)
+			}
+		}
+	}
+}
+
+// sleepOrStop waits d (no wait when d <= 0), reporting false once stop
+// closes.
+func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
 		select {
 		case <-stop:
 			return false
-		case <-pace.C:
+		default:
 			return true
 		}
 	}
-	for {
-		for _, r := range s.Replicas() {
-			spec := r.Spec()
-			for i := 0; i < spec.Blocks(); i++ {
-				if !wait(cfg.Pace) {
-					return
-				}
-				ok, marked, err := r.verifyBlock(i, true)
-				s.blocksScanned.Add(1)
-				if err != nil {
-					continue // unreadable now; retried next pass
-				}
-				if ok && !marked {
-					s.blocksVerified.Add(1)
-				}
-				if marked && cfg.OnDamage != nil {
-					cfg.OnDamage(spec.ID, i)
-				}
-			}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// tokenBucket is the scrubber's shared IO budget: rate bytes/second with a
+// one-second burst, shared by every worker. A nil bucket (unlimited) always
+// admits.
+type tokenBucket struct {
+	rate  float64
+	burst float64
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(bytesPerSec int64) *tokenBucket {
+	if bytesPerSec <= 0 {
+		return nil
+	}
+	return &tokenBucket{
+		rate:   float64(bytesPerSec),
+		burst:  float64(bytesPerSec),
+		tokens: float64(bytesPerSec),
+		last:   time.Now(),
+	}
+}
+
+// take blocks until n bytes of budget are available (or stop closes,
+// returning false). A single block larger than the burst is admitted once
+// the bucket is full and charged as debt, so long-run throughput still
+// converges to the configured rate.
+func (b *tokenBucket) take(n int64, stop <-chan struct{}) bool {
+	if b == nil {
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
 		}
-		s.scrubPasses.Add(1)
-		if !wait(cfg.PassPause) {
-			return
+	}
+	need := float64(n)
+	for {
+		b.mu.Lock()
+		now := time.Now()
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+		admit := need
+		if admit > b.burst {
+			admit = b.burst
+		}
+		if b.tokens >= admit {
+			b.tokens -= need // may go negative: debt paces the next taker
+			b.mu.Unlock()
+			return true
+		}
+		deficit := admit - b.tokens
+		b.mu.Unlock()
+		d := time.Duration(deficit / b.rate * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-stop:
+			t.Stop()
+			return false
+		case <-t.C:
 		}
 	}
 }

@@ -1,16 +1,25 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"lockss/internal/content"
 )
+
+// ingestChunk bounds the streaming-ingest copy buffer: CreateFrom never
+// holds more than this much AU content in memory, regardless of AU or block
+// size.
+const ingestChunk = 1 << 20
 
 // Stats counts store activity. All counters are cumulative since Open.
 type Stats struct {
@@ -28,21 +37,47 @@ type Stats struct {
 	BlocksRepaired uint64
 	// ScrubPasses counts completed full passes over every AU.
 	ScrubPasses uint64
-	// ManifestWrites counts atomic manifest replacements.
+	// ManifestMutations counts manifest-state mutations (damage marks,
+	// repairs, scrub mark changes, ingests) requested of the store.
+	ManifestMutations uint64
+	// ManifestWrites counts atomic manifest replacements that reached disk.
+	// Under group commit this trails ManifestMutations: mutations coalescing
+	// in one commit window share a single replacement.
 	ManifestWrites uint64
+	// ManifestCommits counts group-commit trains (batches of manifest
+	// replacements sharing one flush). Without group commit every write is
+	// its own train.
+	ManifestCommits uint64
+	// Fsyncs counts fsync syscalls the store issued — block files, manifest
+	// temp files and directories. The cost group commit amortizes.
+	Fsyncs uint64
+	// BytesIngested counts content bytes written by Create/CreateFrom.
+	BytesIngested uint64
+	// BytesScrubbed counts content bytes read and hashed by the scrubber.
+	BytesScrubbed uint64
 	// DamageInjected counts InjectDamage bit flips.
 	DamageInjected uint64
 }
 
 // Store is a durable collection of AU replicas rooted at one directory.
-// Stores are safe for concurrent use: the node's actor loop and the
-// background scrubber both reach replicas through per-replica locks.
+// Stores are safe for concurrent use: ingest streams its IO outside the
+// store lock, and the node's actor loop and the scrub workers reach replicas
+// through per-replica locks.
 type Store struct {
 	root string
+	opts Options
 
-	mu    sync.Mutex
-	aus   map[content.AUID]*Replica
-	order []content.AUID
+	mu  sync.Mutex
+	aus map[content.AUID]*Replica
+	// creating reserves AU ids whose ingest is streaming outside the lock,
+	// so concurrent CreateFrom calls for one id cannot both write the
+	// directory.
+	creating map[content.AUID]bool
+	order    []content.AUID
+
+	// committer batches manifest flushes; nil with Options.NoGroupCommit,
+	// where mutations persist synchronously.
+	committer *committer
 
 	scrubStop chan struct{}
 	scrubWG   sync.WaitGroup
@@ -50,36 +85,68 @@ type Store struct {
 	closeOnce sync.Once
 	closeErr  error
 
-	blocksScanned  atomic.Uint64
-	blocksVerified atomic.Uint64
-	blocksDamaged  atomic.Uint64
-	blocksRepaired atomic.Uint64
-	scrubPasses    atomic.Uint64
-	manifestWrites atomic.Uint64
-	damageInjected atomic.Uint64
+	blocksScanned     atomic.Uint64
+	blocksVerified    atomic.Uint64
+	blocksDamaged     atomic.Uint64
+	blocksRepaired    atomic.Uint64
+	scrubPasses       atomic.Uint64
+	manifestMutations atomic.Uint64
+	manifestWrites    atomic.Uint64
+	manifestCommits   atomic.Uint64
+	fsyncs            atomic.Uint64
+	bytesIngested     atomic.Uint64
+	bytesScrubbed     atomic.Uint64
+	damageInjected    atomic.Uint64
 }
 
-// Open loads (or creates) a store rooted at dir. Every au-* subdirectory
-// with a valid manifest is loaded; a directory missing its manifest is a
-// crash-interrupted ingest and is skipped (re-ingesting the AU overwrites
-// it), but a *corrupt* manifest is an error — it means bytes rotted in
-// place, and silently dropping the AU would defeat the whole point.
+// Open loads (or creates) a store rooted at dir with default Options.
 func Open(dir string) (*Store, error) {
+	return OpenWith(dir, Options{})
+}
+
+// OpenWith loads (or creates) a store rooted at dir. Every au-<id>
+// subdirectory with a valid manifest is loaded in numeric id order; a
+// directory missing its manifest is a crash-interrupted ingest and is
+// skipped (re-ingesting the AU overwrites it), but a *corrupt* manifest is
+// an error — it means bytes rotted in place, and silently dropping the AU
+// would defeat the whole point. An au- directory whose name does not parse
+// as a decimal id is rejected explicitly rather than silently loaded or
+// skipped: it is either foreign data or corruption of the store root, and
+// both deserve an operator's eyes.
+func OpenWith(dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	s := &Store{root: dir, aus: make(map[content.AUID]*Replica)}
+	s := &Store{
+		root:     dir,
+		opts:     opts.withDefaults(),
+		aus:      make(map[content.AUID]*Replica),
+		creating: make(map[content.AUID]bool),
+	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	var dirs []string
-	for _, e := range entries {
-		if e.IsDir() && len(e.Name()) > 3 && e.Name()[:3] == "au-" {
-			dirs = append(dirs, e.Name())
-		}
+	// AU directories are ordered by parsed numeric id, not by name: auDir
+	// zero-pads to 8 digits, so an id >= 10^8 widens the name and a
+	// lexicographic sort would diverge from id order across reopen.
+	type auDirent struct {
+		id   uint64
+		name string
 	}
-	sort.Strings(dirs)
+	var dirs []auDirent
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "au-") {
+			continue
+		}
+		num := strings.TrimPrefix(e.Name(), "au-")
+		id, err := strconv.ParseUint(num, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("store: malformed AU directory name %q in %s", e.Name(), dir)
+		}
+		dirs = append(dirs, auDirent{id: id, name: e.Name()})
+	}
+	sort.Slice(dirs, func(i, j int) bool { return dirs[i].id < dirs[j].id })
 	// On any failure, close the block files of replicas already loaded —
 	// the caller gets no Store to Close, so they would leak.
 	closeLoaded := func() {
@@ -87,8 +154,14 @@ func Open(dir string) (*Store, error) {
 			r.close()
 		}
 	}
-	for _, name := range dirs {
-		auDir := filepath.Join(dir, name)
+	for i, d := range dirs {
+		if i > 0 && dirs[i-1].id == d.id {
+			// "au-7" and "au-00000007" denote the same AU; loading both
+			// would double-register it.
+			closeLoaded()
+			return nil, fmt.Errorf("store: AU directories %q and %q share id %d in %s", dirs[i-1].name, d.name, d.id, dir)
+		}
+		auDir := filepath.Join(dir, d.name)
 		man, err := readManifest(auDir)
 		if os.IsNotExist(err) {
 			continue // ingest died before the manifest existed; not an AU yet
@@ -110,6 +183,9 @@ func Open(dir string) (*Store, error) {
 		s.aus[man.spec.ID] = r
 		s.order = append(s.order, man.spec.ID)
 	}
+	if !s.opts.NoGroupCommit {
+		s.committer = newCommitter(s, s.opts.CommitInterval)
+	}
 	return s, nil
 }
 
@@ -121,14 +197,29 @@ func (s *Store) auDir(id content.AUID) string {
 	return filepath.Join(s.root, fmt.Sprintf("au-%08d", id))
 }
 
-// Create ingests one AU: data is the publisher's content for spec (its
-// length must equal spec.Size). Block bytes are written and fsynced before
-// the manifest that vouches for them, so a crash mid-ingest leaves a
-// directory without a manifest — invisible to Open — rather than an AU with
-// unvouched bytes. The salt individualizes this replica's damage marks.
+// Create ingests one AU from an in-memory buffer: data is the publisher's
+// content for spec (its length must equal spec.Size). It is a thin wrapper
+// over CreateFrom for KB-scale callers; anything archive-sized should stream.
 func (s *Store) Create(spec content.AUSpec, salt uint64, data []byte) (*Replica, error) {
 	if int64(len(data)) != spec.Size {
 		return nil, fmt.Errorf("store: AU %v content is %d bytes, spec says %d", spec.ID, len(data), spec.Size)
+	}
+	return s.CreateFrom(spec, salt, bytes.NewReader(data))
+}
+
+// CreateFrom ingests one AU by streaming spec.Size bytes from src: content
+// is written and hashed block by block through a bounded buffer, so a
+// multi-GB AU never exists in memory. Block bytes are written and fsynced
+// before the manifest that vouches for them, so a crash mid-ingest leaves a
+// directory without a manifest — invisible to Open — rather than an AU with
+// unvouched bytes. The salt individualizes this replica's damage marks.
+//
+// All IO runs outside the store lock: concurrent Replica lookups, scrubbing
+// and other ingests proceed while an AU streams in. The AU id is reserved up
+// front, so two concurrent ingests of one id cannot interleave their writes.
+func (s *Store) CreateFrom(spec content.AUSpec, salt uint64, src io.Reader) (*Replica, error) {
+	if spec.Size < 0 {
+		return nil, fmt.Errorf("store: AU %v has negative size %d", spec.ID, spec.Size)
 	}
 	if len(spec.Name) > maxNameLen {
 		return nil, fmt.Errorf("store: AU %v name exceeds %d bytes", spec.ID, maxNameLen)
@@ -136,11 +227,24 @@ func (s *Store) Create(spec content.AUSpec, salt uint64, data []byte) (*Replica,
 	if spec.Blocks() > maxBlocks {
 		return nil, fmt.Errorf("store: AU %v has %d blocks, limit %d", spec.ID, spec.Blocks(), maxBlocks)
 	}
+	// Reserve the id under the lock; stream outside it.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, dup := s.aus[spec.ID]; dup {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("store: duplicate AU %v", spec.ID)
 	}
+	if s.creating[spec.ID] {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("store: AU %v ingest already in progress", spec.ID)
+	}
+	s.creating[spec.ID] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, spec.ID)
+		s.mu.Unlock()
+	}()
+
 	dir := s.auDir(spec.ID)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create AU %v: %w", spec.ID, err)
@@ -149,34 +253,74 @@ func (s *Store) Create(spec content.AUSpec, salt uint64, data []byte) (*Replica,
 	if err != nil {
 		return nil, fmt.Errorf("store: create AU %v: %w", spec.ID, err)
 	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: write AU %v: %w", spec.ID, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: sync AU %v: %w", spec.ID, err)
-	}
-	n := spec.Blocks()
-	man := &manifest{spec: spec, salt: salt, digests: make([]content.Hash, n), marks: make([]content.Mark, n)}
-	for i := 0; i < n; i++ {
-		lo, hi := blockRange(spec, i)
-		man.digests[i] = sha256.Sum256(data[lo:hi])
-	}
-	if err := writeManifest(dir, man); err != nil {
+	// On failure the directory is left without a manifest — the same state
+	// a crash leaves — which Open skips and a re-ingest overwrites.
+	fail := func(err error) (*Replica, error) {
 		f.Close()
 		return nil, err
 	}
-	// The au-<id> dirent itself lives in the store root; sync it too, or a
-	// power loss after Create returns could drop the whole AU directory.
-	if err := syncDir(s.root); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: sync root for AU %v: %w", spec.ID, err)
+	n := spec.Blocks()
+	man := &manifest{spec: spec, salt: salt, digests: make([]content.Hash, n), marks: make([]content.Mark, n)}
+	bufSize := int64(ingestChunk)
+	if spec.Size > 0 && spec.Size < bufSize {
+		bufSize = spec.Size
 	}
+	buf := make([]byte, bufSize)
+	h := sha256.New()
+	var written int64
+	for i := 0; i < n; i++ {
+		lo, hi := blockRange(spec, i)
+		h.Reset()
+		for remain := hi - lo; remain > 0; {
+			c := int64(len(buf))
+			if c > remain {
+				c = remain
+			}
+			if _, err := io.ReadFull(src, buf[:c]); err != nil {
+				return fail(fmt.Errorf("store: ingest AU %v: content ends at byte %d of %d: %w", spec.ID, written, spec.Size, err))
+			}
+			if _, err := f.Write(buf[:c]); err != nil {
+				return fail(fmt.Errorf("store: write AU %v: %w", spec.ID, err))
+			}
+			h.Write(buf[:c])
+			remain -= c
+			written += c
+		}
+		h.Sum(man.digests[i][:0])
+	}
+	if err := f.Sync(); err != nil {
+		return fail(fmt.Errorf("store: sync AU %v: %w", spec.ID, err))
+	}
+	s.fsyncs.Add(1)
+	s.bytesIngested.Add(uint64(written))
+	// The manifest write is the ingest's commit point; it is synchronous —
+	// group commit batches mutations of live AUs, not births of new ones.
+	if err := writeManifestBytes(dir, man.encode(), &s.fsyncs); err != nil {
+		return fail(err)
+	}
+	s.manifestMutations.Add(1)
 	s.manifestWrites.Add(1)
-	r := &Replica{st: s, dir: dir, f: f, man: man}
+	s.manifestCommits.Add(1)
+	// The au-<id> dirent itself lives in the store root; sync it too, or a
+	// power loss after CreateFrom returns could drop the whole AU directory.
+	if err := syncDir(s.root); err != nil {
+		return fail(fmt.Errorf("store: sync root for AU %v: %w", spec.ID, err))
+	}
+	s.fsyncs.Add(1)
+
+	r := &Replica{st: s, dir: dir, f: f, man: man, persistedGen: man.gen}
+	s.mu.Lock()
+	if _, dup := s.aus[spec.ID]; dup {
+		// Defensive re-check; the creating reservation makes this
+		// unreachable, but registering a second replica for one id would be
+		// far worse than failing an ingest.
+		s.mu.Unlock()
+		f.Close()
+		return nil, fmt.Errorf("store: duplicate AU %v", spec.ID)
+	}
 	s.aus[spec.ID] = r
 	s.order = append(s.order, spec.ID)
+	s.mu.Unlock()
 	return r, nil
 }
 
@@ -195,7 +339,7 @@ func (s *Store) openReplica(dir string, man *manifest) (*Replica, error) {
 		f.Close()
 		return nil, fmt.Errorf("store: AU %v block file is %d bytes, manifest says %d", man.spec.ID, fi.Size(), man.spec.Size)
 	}
-	return &Replica{st: s, dir: dir, f: f, man: man}, nil
+	return &Replica{st: s, dir: dir, f: f, man: man, persistedGen: man.gen}, nil
 }
 
 // Replica returns the store's replica of an AU, or nil.
@@ -205,7 +349,7 @@ func (s *Store) Replica(id content.AUID) *Replica {
 	return s.aus[id]
 }
 
-// Replicas returns every replica in AU-ID registration order.
+// Replicas returns every replica in registration order.
 func (s *Store) Replicas() []*Replica {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -242,7 +386,7 @@ func (s *Store) InjectDamage(id content.AUID, block int) error {
 	return nil
 }
 
-// Damage identifies one damaged block found by verification.
+// Damage identifies one damaged or unreadable block found by verification.
 type Damage struct {
 	AU    content.AUID
 	Block int
@@ -250,46 +394,68 @@ type Damage struct {
 	// scrub or a failed repair has seen it) or the verification found it
 	// silently rotted.
 	Marked bool
+	// Unreadable reports that the block could not be read at all (Err says
+	// why): its bytes cannot be vouched for, which is damage for every
+	// practical purpose, reported in place so one unreadable block does not
+	// mask rot found elsewhere in the store.
+	Unreadable bool
+	// Err is the read error for an unreadable block, nil otherwise.
+	Err error
 }
 
 // VerifyAll reads and hashes every block of every AU against its manifest,
-// returning all mismatches. A nil slice with a nil error means the whole
-// store verifies.
-func (s *Store) VerifyAll() ([]Damage, error) {
+// returning all mismatches. Read errors do not abort the sweep: an
+// unreadable block is reported as Damage with Unreadable set and
+// verification continues, so the report always covers the whole store. A nil
+// slice means everything verifies.
+func (s *Store) VerifyAll() []Damage {
 	var out []Damage
 	for _, r := range s.Replicas() {
 		spec := r.Spec()
+		var buf []byte
 		for i := 0; i < spec.Blocks(); i++ {
-			ok, marked, err := r.verifyBlock(i, false)
+			var ok, marked bool
+			var err error
+			ok, marked, buf, err = r.verifyBlock(i, false, buf)
 			if err != nil {
-				return out, err
+				out = append(out, Damage{AU: spec.ID, Block: i, Marked: marked, Unreadable: true, Err: err})
+				continue
 			}
 			if !ok {
 				out = append(out, Damage{AU: spec.ID, Block: i, Marked: marked})
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Stats snapshots the store counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		BlocksScanned:  s.blocksScanned.Load(),
-		BlocksVerified: s.blocksVerified.Load(),
-		BlocksDamaged:  s.blocksDamaged.Load(),
-		BlocksRepaired: s.blocksRepaired.Load(),
-		ScrubPasses:    s.scrubPasses.Load(),
-		ManifestWrites: s.manifestWrites.Load(),
-		DamageInjected: s.damageInjected.Load(),
+		BlocksScanned:     s.blocksScanned.Load(),
+		BlocksVerified:    s.blocksVerified.Load(),
+		BlocksDamaged:     s.blocksDamaged.Load(),
+		BlocksRepaired:    s.blocksRepaired.Load(),
+		ScrubPasses:       s.scrubPasses.Load(),
+		ManifestMutations: s.manifestMutations.Load(),
+		ManifestWrites:    s.manifestWrites.Load(),
+		ManifestCommits:   s.manifestCommits.Load(),
+		Fsyncs:            s.fsyncs.Load(),
+		BytesIngested:     s.bytesIngested.Load(),
+		BytesScrubbed:     s.bytesScrubbed.Load(),
+		DamageInjected:    s.damageInjected.Load(),
 	}
 }
 
-// Close stops the scrubber, then flushes and closes every block file. It is
-// idempotent; the first error encountered is returned every time.
+// Close stops the scrubber, flushes every dirty manifest through one final
+// commit train, then closes every block file. It is idempotent; the first
+// error encountered is returned every time.
 func (s *Store) Close() error {
 	s.closeOnce.Do(func() {
 		s.StopScrub()
+		if s.committer != nil {
+			s.committer.close()
+		}
 		for _, r := range s.Replicas() {
 			if err := r.close(); err != nil && s.closeErr == nil {
 				s.closeErr = err

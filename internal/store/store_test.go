@@ -62,8 +62,8 @@ func TestCreateOpenRoundTrip(t *testing.T) {
 	if r.Damaged() {
 		t.Error("fresh store damaged")
 	}
-	if dam, err := s2.VerifyAll(); err != nil || dam != nil {
-		t.Fatalf("fresh store does not verify: %v %v", dam, err)
+	if dam := s2.VerifyAll(); dam != nil {
+		t.Fatalf("fresh store does not verify: %v", dam)
 	}
 }
 
@@ -106,10 +106,7 @@ func TestDamageRepairCycle(t *testing.T) {
 	if len(snap) != 1 || snap[0].Block != 2 {
 		t.Fatalf("snapshot %v", snap)
 	}
-	dam, err := s.VerifyAll()
-	if err != nil {
-		t.Fatal(err)
-	}
+	dam := s.VerifyAll()
 	if len(dam) != 1 || dam[0].Block != 2 || !dam[0].Marked {
 		t.Fatalf("verify after damage: %v", dam)
 	}
@@ -124,8 +121,8 @@ func TestDamageRepairCycle(t *testing.T) {
 	if r.Damaged() {
 		t.Error("repair did not clear the mark")
 	}
-	if dam, err := s.VerifyAll(); err != nil || dam != nil {
-		t.Fatalf("store does not verify after repair: %v %v", dam, err)
+	if dam := s.VerifyAll(); dam != nil {
+		t.Fatalf("store does not verify after repair: %v", dam)
 	}
 	if s.Stats().BlocksRepaired != 1 {
 		t.Errorf("BlocksRepaired = %d, want 1", s.Stats().BlocksRepaired)
@@ -222,7 +219,7 @@ func TestCrashDuringRepairLeavesMarked(t *testing.T) {
 		t.Fatal("damage mark lost across the crash")
 	}
 	// A scrub pass completes the interrupted repair.
-	ok, marked, err := r2.verifyBlock(2, true)
+	ok, marked, _, err := r2.verifyBlock(2, true, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
