@@ -78,6 +78,18 @@ func guardWorkloads() []struct {
 	brute := func(d adversary.Defection) func() adversary.Adversary {
 		return func() adversary.Adversary { return &adversary.BruteForce{Defection: d} }
 	}
+	// scaled pins the capacity tiers' allocation behavior: the real
+	// population shape (5k/20k peers, cold bootstrap) over a one-week
+	// horizon, so the guard stays seconds while covering the construction
+	// and steady-state paths that dominate at -scale large/huge.
+	scaled := func(s experiment.Scale, days int) func() error {
+		return func() error {
+			cfg := experiment.Options{Scale: s}.BaseWorld()
+			cfg.Duration = sim.Duration(days) * sim.Day
+			_, err := experiment.RunOne(cfg, nil)
+			return err
+		}
+	}
 	full := benchWorld().Duration
 	return []struct {
 		Name string
@@ -99,6 +111,8 @@ func guardWorkloads() []struct {
 			cfg.Protocol.Desynchronize = false
 		}, brute(adversary.DefectRemaining))},
 		{"ablation-effort-balancing-on", run(nil, brute(adversary.DefectNone))},
+		{"scale-large-7d", scaled(experiment.ScaleLarge, 7)},
+		{"scale-huge-7d", scaled(experiment.ScaleHuge, 7)},
 	}
 }
 

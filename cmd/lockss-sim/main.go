@@ -10,9 +10,15 @@
 //	lockss-sim -figure all               # everything
 //	lockss-sim -scenario figure2,table1  # run scenarios by registry name
 //	lockss-sim -output json              # text | json | csv
-//	lockss-sim -scale paper              # tiny | small | paper
+//	lockss-sim -scale paper              # tiny | small | paper | large | huge
 //	lockss-sim -workers 8                # parallel runs (default: all cores)
+//	lockss-sim -shards 4                 # parallel peer shards per run
+//	lockss-sim -progress                 # periodic virtual-time progress lines
 //	lockss-sim -seeds 3 -seed 42 -v
+//
+// -workers parallelizes across independent runs; -shards parallelizes inside
+// each run, which is what helps at -scale large/huge where a single run
+// dominates.
 //
 // Output is bit-identical at any -workers value: runs are scheduled across
 // the worker pool but seeded, combined and printed exactly as the serial
@@ -29,10 +35,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"lockss/internal/experiment"
+	"lockss/internal/sim"
 )
 
 // selection pairs a registry name with the table index the legacy -figure
@@ -105,10 +113,12 @@ func main() {
 		scenario = flag.String("scenario", "", "comma-separated registered scenario names to run (see -list)")
 		list     = flag.Bool("list", false, "list registered scenarios and exit")
 		output   = flag.String("output", "text", "output format: text, json, csv")
-		scale    = flag.String("scale", "small", "experiment fidelity: tiny, small, paper")
+		scale    = flag.String("scale", "small", "experiment fidelity: tiny, small, paper, large, huge")
 		seeds    = flag.Int("seeds", 0, "seeds per data point (0 = scale default)")
 		seed     = flag.Uint64("seed", 0, "base seed offset")
 		workers  = flag.Int("workers", 0, "concurrent simulation runs (<=0 = GOMAXPROCS, i.e. all usable cores)")
+		shards   = flag.Int("shards", 0, "parallel peer shards per simulation (0/1 = single engine; output is byte-identical at any value)")
+		progress = flag.Bool("progress", false, "print periodic virtual-time/events-executed progress lines to stderr")
 		verbose  = flag.Bool("v", false, "print per-data-point progress")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprof  = flag.String("memprofile", "", "write an allocation profile at exit to this file")
@@ -159,7 +169,7 @@ func main() {
 	// One engine for the whole invocation: running several scenarios reuses
 	// memoized baseline runs across them.
 	eng := experiment.NewEngine(*workers)
-	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed, Engine: eng}
+	opts := experiment.Options{Seeds: *seeds, BaseSeed: *seed, Shards: *shards, Engine: eng}
 	switch strings.ToLower(*scale) {
 	case "tiny":
 		opts.Scale = experiment.ScaleTiny
@@ -167,9 +177,28 @@ func main() {
 		opts.Scale = experiment.ScaleSmall
 	case "paper":
 		opts.Scale = experiment.ScalePaper
+	case "large":
+		opts.Scale = experiment.ScaleLarge
+	case "huge":
+		opts.Scale = experiment.ScaleHuge
 	default:
 		fmt.Fprintf(os.Stderr, "lockss-sim: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+	if *progress {
+		// Rate-limited one-liners: virtual time reached and events executed
+		// by the reporting run. Concurrent runs interleave; each line stands
+		// alone.
+		var lastPrint atomic.Int64
+		experiment.ProgressSink = func(vt sim.Time, events uint64) {
+			now := time.Now().UnixNano()
+			last := lastPrint.Load()
+			if now-last < 2*int64(time.Second) || !lastPrint.CompareAndSwap(last, now) {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "progress: vt=%.1fd events=%dM\n",
+				float64(vt)/float64(sim.Day), events>>20)
+		}
 	}
 	if *verbose {
 		start := time.Now()

@@ -50,6 +50,17 @@ type Comparison struct {
 	CostRatio float64
 }
 
+// ProgressSink, when non-nil, receives periodic execution progress from
+// every unlayered simulation run in the process: the reporting engine's
+// virtual time and that run's total executed events, every ProgressStride
+// events. Set it before running anything (the CLI's -progress does); the
+// callback must be thread-safe, since runs execute concurrently and a
+// sharded run reports from several goroutines.
+var ProgressSink func(vt sim.Time, events uint64)
+
+// ProgressStride is the reporting granularity of ProgressSink, in events.
+var ProgressStride uint64 = 1 << 20
+
 // RunOne executes a single seeded run on the calling goroutine and extracts
 // stats. mkAttack may be nil for a baseline.
 func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, error) {
@@ -59,6 +70,9 @@ func RunOne(cfg world.Config, mkAttack func() adversary.Adversary) (RunStats, er
 	}
 	if mkAttack != nil {
 		mkAttack().Install(w)
+	}
+	if ProgressSink != nil {
+		w.InstallProgress(ProgressStride, ProgressSink)
 	}
 	w.Run()
 	return statsFromWorld(w), nil
@@ -150,6 +164,11 @@ const (
 	ScaleSmall
 	// ScalePaper: the paper's §6.3 operating point; expect long runtimes.
 	ScalePaper
+	// ScaleLarge: a ~5k-peer population for capacity work. Cold bootstrap
+	// (no O(Peers²) acquaintance seeding), few small AUs, short horizon.
+	ScaleLarge
+	// ScaleHuge: a ~20k-peer population; the sharded engine's target regime.
+	ScaleHuge
 )
 
 func (s Scale) String() string {
@@ -160,6 +179,10 @@ func (s Scale) String() string {
 		return "small"
 	case ScalePaper:
 		return "paper"
+	case ScaleLarge:
+		return "large"
+	case ScaleHuge:
+		return "huge"
 	}
 	return "invalid"
 }
@@ -169,6 +192,10 @@ type Options struct {
 	Scale Scale
 	// Seeds overrides the scale's default seed count when positive.
 	Seeds int
+	// Shards, when positive, runs every simulation on that many parallel
+	// peer shards (world.Config.Shards). Results are byte-identical at any
+	// value; larger populations run faster on multi-core hosts.
+	Shards int
 	// BaseSeed offsets all run seeds.
 	BaseSeed uint64
 	// Progress, if non-nil, receives one line per completed data point.
@@ -212,6 +239,11 @@ func (o Options) seeds() int {
 	}
 }
 
+// BaseWorld returns the population config the Options select: the scale's
+// population shape, seeded from BaseSeed, with Shards applied. Scenario Base
+// functions and capacity benchmarks use it as their starting point.
+func (o Options) BaseWorld() world.Config { return o.baseWorld() }
+
 // baseWorld returns the population config for the scale.
 func (o Options) baseWorld() world.Config {
 	cfg := world.Default()
@@ -224,12 +256,25 @@ func (o Options) baseWorld() world.Config {
 		cfg.AUs = 10
 		cfg.AUSize = 256 << 20
 		cfg.Duration = 2 * sim.Year
+	case ScaleLarge:
+		cfg.Peers = 5000
+		cfg.AUs = 2
+		cfg.AUSize = 16 << 20
+		cfg.Duration = sim.Year / 4
+		cfg.SeedAllEven = false // O(Peers²·AUs) — prohibitive at this size
+	case ScaleHuge:
+		cfg.Peers = 20000
+		cfg.AUs = 1
+		cfg.AUSize = 8 << 20
+		cfg.Duration = sim.Year / 8
+		cfg.SeedAllEven = false
 	default: // ScaleTiny
 		cfg.Peers = 25
 		cfg.AUs = 4
 		cfg.AUSize = 64 << 20
 		cfg.Duration = 1 * sim.Year
 	}
+	cfg.Shards = o.Shards
 	return cfg
 }
 

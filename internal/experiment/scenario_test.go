@@ -150,6 +150,65 @@ func TestScenarioGoldenSmall(t *testing.T) {
 	checkGolden(t, filepath.Join("testdata", "golden", name+"@small.golden"), renderTables(tables))
 }
 
+// TestScenarioGoldenLarge pins the ~5k-peer capacity tier byte-for-byte:
+// the scale-large-baseline scenario runs cold-bootstrap steady state on a
+// population 50x the paper's, exercising the code paths (dense event index,
+// SoA-ish peer state, shard-ready network) that only matter at scale.
+// Regenerate with `go test -run TestScenarioGoldenLarge -update`.
+func TestScenarioGoldenLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a ScaleLarge scenario (5k peers)")
+	}
+	const name = "scale-large-baseline"
+	spec, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	tables, err := spec.Run(context.Background(), Options{Scale: ScaleTiny, Engine: NewEngine(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderTables(tables)
+	checkGolden(t, filepath.Join("testdata", "golden", name+".golden"), got)
+
+	// The same bytes must come out of a sharded run.
+	shardedTables, err := spec.Run(context.Background(), Options{Scale: ScaleTiny, Shards: 4, Engine: NewEngine(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharded := renderTables(shardedTables); !bytes.Equal(sharded, got) {
+		t.Errorf("sharded run diverges from single-engine bytes:\n--- shards=4 ---\n%s\n--- shards=1 ---\n%s", sharded, got)
+	}
+}
+
+// TestShardedRunStatsIdentical pins shard-count invariance through the full
+// experiment path with an effortful adversary attached: RunStats — including
+// the float-valued effort ledgers on both sides — must be identical at
+// shards 1, 2 and 8.
+func TestShardedRunStatsIdentical(t *testing.T) {
+	run := func(shards int) RunStats {
+		cfg := scenarioTestConfig(Options{})
+		cfg.DamageDiskYears = 1
+		cfg.Shards = shards
+		stats, err := RunOne(cfg, func() adversary.Adversary {
+			return &adversary.BruteForce{Defection: adversary.DefectNone, Minions: 8, Coverage: 1}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	ref := run(1)
+	if ref.AttackerEffort == 0 || ref.SuccessfulPolls == 0 {
+		t.Fatalf("reference attack run inert: %+v", ref)
+	}
+	for _, shards := range []int{2, 8} {
+		if got := run(shards); got != ref {
+			t.Errorf("shards=%d RunStats differ:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
 // TestRegistryBuiltins asserts every shipped artifact is registered and
 // listed in sorted order with a description.
 func TestRegistryBuiltins(t *testing.T) {

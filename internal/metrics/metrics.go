@@ -12,6 +12,13 @@
 //
 // A Collector gathers the raw ingredients for one run; ratios against a
 // baseline run are taken by the experiment package.
+//
+// Accumulation is partition-invariant by construction: every time integral
+// is kept as integer nanoseconds per replica and only summed (in replica
+// registration order) when an aggregate is read. A sharded run keeps one
+// Collector per shard, each observing a disjoint replica set, and merges
+// them in canonical shard order at the end — producing bit-identical
+// aggregates at any shard count.
 package metrics
 
 import (
@@ -27,21 +34,28 @@ type replicaKey struct {
 	au   content.AUID
 }
 
+// noTime marks "no timestamp recorded" in per-replica state.
+const noTime = sched.Time(-1)
+
+// repState is the dense per-replica accumulator. Time integrals stay integer
+// nanoseconds so their order of accumulation cannot perturb the result.
+type repState struct {
+	r            content.Replica
+	damagedSince sched.Time // noTime when currently undamaged
+	damagedNs    int64      // closed damaged-interval total
+	lastSuccess  sched.Time // noTime before the first successful poll
+	gapNs        int64      // observed consecutive-success gap total
+	gapCount     uint64
+}
+
 // Collector implements protocol.Observer and accumulates raw statistics for
-// one simulation run.
+// one simulation run (or one shard of a run; see Merge).
 type Collector struct {
-	replicas map[replicaKey]content.Replica
-	damaged  map[replicaKey]bool
+	reps []repState // dense, in registration order — the canonical order
+	idx  map[replicaKey]int32
 
-	lastT           sched.Time
-	damagedIntegral float64 // replica-nanoseconds damaged
-
-	// Successful-poll interarrival bookkeeping. gapSum/gapCount track
-	// observed consecutive-success gaps (diagnostic); the headline
-	// MeanSuccessInterval uses a censoring-aware renewal estimator.
-	lastSuccess map[replicaKey]sched.Time
-	gapSum      float64
-	gapCount    int
+	damagedCount int
+	lastT        sched.Time
 
 	// Counters.
 	Polls         map[protocol.Outcome]uint64
@@ -56,34 +70,35 @@ func NewCollector() *Collector {
 	return NewCollectorSized(0)
 }
 
-// NewCollectorSized returns an empty collector with its accumulator maps
-// preallocated for the expected replica count (peers × AUs), so population
-// registration and steady-state tracking do not grow maps incrementally.
+// NewCollectorSized returns an empty collector preallocated for the expected
+// replica count (peers × AUs), so population registration and steady-state
+// tracking do not grow the index incrementally.
 func NewCollectorSized(replicas int) *Collector {
 	if replicas < 0 {
 		replicas = 0
 	}
 	return &Collector{
-		replicas:    make(map[replicaKey]content.Replica, replicas),
-		damaged:     make(map[replicaKey]bool, replicas),
-		lastSuccess: make(map[replicaKey]sched.Time, replicas),
-		Polls:       make(map[protocol.Outcome]uint64, 4),
+		reps:  make([]repState, 0, replicas),
+		idx:   make(map[replicaKey]int32, replicas),
+		Polls: make(map[protocol.Outcome]uint64, 4),
 	}
 }
 
 // RegisterReplica announces a (peer, AU) replica at simulation start.
 func (c *Collector) RegisterReplica(peer ids.PeerID, au content.AUID, r content.Replica) {
 	k := replicaKey{peer, au}
-	c.replicas[k] = r
+	st := repState{r: r, damagedSince: noTime, lastSuccess: noTime}
 	if r.Damaged() {
-		c.damaged[k] = true
+		st.damagedSince = 0
+		c.damagedCount++
 	}
+	c.idx[k] = int32(len(c.reps))
+	c.reps = append(c.reps, st)
 }
 
-// advance integrates the damaged-replica count up to now.
-func (c *Collector) advance(now sched.Time) {
+// touch advances the latest-event watermark.
+func (c *Collector) touch(now sched.Time) {
 	if now > c.lastT {
-		c.damagedIntegral += float64(len(c.damaged)) * float64(now-c.lastT)
 		c.lastT = now
 	}
 }
@@ -91,39 +106,52 @@ func (c *Collector) advance(now sched.Time) {
 // OnDamage records a storage damage event (called by the damage injector
 // after corrupting the replica).
 func (c *Collector) OnDamage(peer ids.PeerID, au content.AUID, now sched.Time) {
-	c.advance(now)
+	c.touch(now)
 	c.DamageEvents++
-	k := replicaKey{peer, au}
-	if r := c.replicas[k]; r != nil && r.Damaged() {
-		c.damaged[k] = true
+	i, ok := c.idx[replicaKey{peer, au}]
+	if !ok {
+		return
+	}
+	st := &c.reps[i]
+	if st.damagedSince == noTime && st.r.Damaged() {
+		st.damagedSince = now
+		c.damagedCount++
 	}
 }
 
 // RepairApplied implements protocol.Observer.
 func (c *Collector) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
-	c.advance(now)
-	k := replicaKey{peer, au}
-	if r := c.replicas[k]; r != nil && !r.Damaged() {
-		if c.damaged[k] {
-			c.RepairsFixed++
-			delete(c.damaged, k)
-		}
+	c.touch(now)
+	i, ok := c.idx[replicaKey{peer, au}]
+	if !ok {
+		return
+	}
+	st := &c.reps[i]
+	if st.damagedSince != noTime && !st.r.Damaged() {
+		st.damagedNs += int64(now - st.damagedSince)
+		st.damagedSince = noTime
+		c.damagedCount--
+		c.RepairsFixed++
 	}
 }
 
 // PollConcluded implements protocol.Observer.
 func (c *Collector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.Outcome, now sched.Time) {
-	c.advance(now)
+	c.touch(now)
 	c.Polls[o]++
 	if o != protocol.OutcomeSuccess {
 		return
 	}
-	k := replicaKey{peer, au}
-	if last, ok := c.lastSuccess[k]; ok {
-		c.gapSum += float64(now - last)
-		c.gapCount++
+	i, ok := c.idx[replicaKey{peer, au}]
+	if !ok {
+		return
 	}
-	c.lastSuccess[k] = now
+	st := &c.reps[i]
+	if st.lastSuccess != noTime {
+		st.gapNs += int64(now - st.lastSuccess)
+		st.gapCount++
+	}
+	st.lastSuccess = now
 }
 
 // Alarm implements protocol.Observer.
@@ -136,18 +164,56 @@ func (c *Collector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now 
 	c.VotesSupplied++
 }
 
-// Finalize integrates the tail of the run. Call once, at the horizon.
+// Merge folds other into c: replicas append in other's registration order,
+// counters add. Call on unfinalized collectors, in canonical shard order, so
+// the merged replica sequence is identical at every shard count; then
+// Finalize the merged collector once. other must not be used afterwards.
+func (c *Collector) Merge(other *Collector) {
+	base := int32(len(c.reps))
+	c.reps = append(c.reps, other.reps...)
+	for k, i := range other.idx {
+		c.idx[k] = base + i
+	}
+	c.damagedCount += other.damagedCount
+	c.touch(other.lastT)
+	for o, n := range other.Polls {
+		c.Polls[o] += n
+	}
+	c.Alarms += other.Alarms
+	c.DamageEvents += other.DamageEvents
+	c.RepairsFixed += other.RepairsFixed
+	c.VotesSupplied += other.VotesSupplied
+}
+
+// Finalize closes open damage intervals at the horizon. Call once, at the
+// end of the run.
 func (c *Collector) Finalize(end sched.Time) {
-	c.advance(end)
+	c.touch(end)
+	for i := range c.reps {
+		st := &c.reps[i]
+		if st.damagedSince != noTime {
+			st.damagedNs += int64(c.lastT - st.damagedSince)
+			st.damagedSince = c.lastT
+		}
+	}
+}
+
+// damagedIntegral sums closed damage intervals in registration order.
+func (c *Collector) damagedIntegral() float64 {
+	var f float64
+	for i := range c.reps {
+		f += float64(c.reps[i].damagedNs)
+	}
+	return f
 }
 
 // AccessFailureProbability returns the time-averaged fraction of damaged
 // replicas over [0, end] (Finalize must have been called with end).
 func (c *Collector) AccessFailureProbability() float64 {
-	if len(c.replicas) == 0 || c.lastT == 0 {
+	if len(c.reps) == 0 || c.lastT == 0 {
 		return 0
 	}
-	return c.damagedIntegral / (float64(len(c.replicas)) * float64(c.lastT))
+	return c.damagedIntegral() / (float64(len(c.reps)) * float64(c.lastT))
 }
 
 // MeanSuccessInterval returns the mean time between successful polls on the
@@ -157,19 +223,27 @@ func (c *Collector) AccessFailureProbability() float64 {
 // silently dropping out, matching the paper's delay-ratio intent.
 func (c *Collector) MeanSuccessInterval() (float64, bool) {
 	succ := c.Polls[protocol.OutcomeSuccess]
-	if succ == 0 || len(c.replicas) == 0 || c.lastT == 0 {
+	if succ == 0 || len(c.reps) == 0 || c.lastT == 0 {
 		return 0, false
 	}
-	return float64(c.lastT) * float64(len(c.replicas)) / float64(succ), true
+	return float64(c.lastT) * float64(len(c.reps)) / float64(succ), true
 }
 
 // ObservedGapMean returns the mean of directly observed consecutive-success
 // gaps (biased under censoring; exposed for diagnostics and tests).
 func (c *Collector) ObservedGapMean() (float64, bool) {
-	if c.gapCount == 0 {
+	var (
+		gapNs int64
+		n     uint64
+	)
+	for i := range c.reps {
+		gapNs += c.reps[i].gapNs
+		n += c.reps[i].gapCount
+	}
+	if n == 0 {
 		return 0, false
 	}
-	return c.gapSum / float64(c.gapCount), true
+	return float64(gapNs) / float64(n), true
 }
 
 // SuccessfulPolls returns the count of successful polls.
@@ -185,6 +259,6 @@ func (c *Collector) TotalPolls() uint64 {
 }
 
 // DamagedNow returns the current number of damaged replicas.
-func (c *Collector) DamagedNow() int { return len(c.damaged) }
+func (c *Collector) DamagedNow() int { return c.damagedCount }
 
 var _ protocol.Observer = (*Collector)(nil)

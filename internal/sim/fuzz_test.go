@@ -6,19 +6,37 @@ import (
 )
 
 // checkHeapInvariants asserts the queue is a well-formed binary min-heap
-// whose back-pointers are consistent and whose membership matches the live
-// index. The event pool must never hand out a struct that is still queued.
+// whose back-pointers are consistent and whose membership matches the dense
+// slot index. The event pool must never hand out a struct that is still
+// queued, and vacated slots must be generation-bumped and free-listed.
 func checkHeapInvariants(t *testing.T, e *Engine) {
 	t.Helper()
-	if len(e.queue) != len(e.live) {
-		t.Fatalf("queue has %d events, live index has %d", len(e.queue), len(e.live))
+	live := 0
+	for _, ev := range e.slots {
+		if ev != nil {
+			live++
+		}
+	}
+	if len(e.queue) != live {
+		t.Fatalf("queue has %d events, slot index has %d", len(e.queue), live)
+	}
+	if len(e.slots) != len(e.gens) {
+		t.Fatalf("slots/gens length mismatch: %d vs %d", len(e.slots), len(e.gens))
 	}
 	for i, ev := range e.queue {
 		if ev.heap != i {
 			t.Fatalf("event %d stores heap index %d at position %d", ev.id, ev.heap, i)
 		}
-		if got, ok := e.live[ev.id]; !ok || got != ev {
-			t.Fatalf("queued event %d missing from live index", ev.id)
+		slot := uint32(ev.id)
+		if slot == 0 || int(slot-1) >= len(e.slots) {
+			t.Fatalf("queued event %d carries out-of-range slot", ev.id)
+		}
+		if e.slots[slot-1] != ev {
+			t.Fatalf("queued event %d missing from slot index", ev.id)
+		}
+		if e.gens[slot-1] != uint32(ev.id>>32) {
+			t.Fatalf("queued event %d generation mismatch: slot gen %d, id gen %d",
+				ev.id, e.gens[slot-1], uint32(ev.id>>32))
 		}
 		for _, child := range []int{2*i + 1, 2*i + 2} {
 			if child < len(e.queue) && e.queue.Less(child, i) {
@@ -26,25 +44,46 @@ func checkHeapInvariants(t *testing.T, e *Engine) {
 			}
 		}
 	}
+	seen := make(map[uint32]bool, len(e.freeSlots))
+	for _, s := range e.freeSlots {
+		if int(s) >= len(e.slots) {
+			t.Fatalf("free slot %d out of range", s)
+		}
+		if e.slots[s] != nil {
+			t.Fatalf("free slot %d still occupied", s)
+		}
+		if seen[s] {
+			t.Fatalf("slot %d free-listed twice", s)
+		}
+		seen[s] = true
+	}
+	if len(e.freeSlots)+live != len(e.slots) {
+		t.Fatalf("%d free + %d live slots != %d total", len(e.freeSlots), live, len(e.slots))
+	}
 	for _, ev := range e.free {
 		if ev.fn != nil {
 			t.Fatal("pooled event retains its closure")
 		}
-		if _, ok := e.live[ev.id]; ok && len(e.queue) > 0 && e.live[ev.id] == ev {
-			t.Fatalf("pooled event %d still live", ev.id)
+		if got := e.lookup(ev.id); got == ev {
+			t.Fatalf("pooled event %d still resolvable", ev.id)
 		}
 	}
 }
 
 // FuzzEventHeap drives an Engine through arbitrary schedule/cancel/run/step
 // interleavings against a naive model, asserting that events fire in
-// (timestamp, FIFO-at-same-instant) order, cancellation semantics hold, and
-// the heap plus the event pool stay structurally sound throughout.
+// (timestamp, FIFO-at-same-instant) order, cancellation semantics hold
+// (including stale Cancels of fired and freshly reused slots staying no-ops),
+// and the heap plus the slot index and event pool stay structurally sound
+// throughout.
 func FuzzEventHeap(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 0, 2, 10})
 	f.Add([]byte{0, 5, 0, 5, 0, 5, 1, 0, 2, 255})
 	f.Add([]byte{0, 1, 3, 0, 0, 0, 1, 1, 0, 2, 2, 4, 3, 0, 3, 0})
 	f.Add([]byte{0, 200, 0, 100, 0, 100, 0, 0, 1, 2, 2, 150, 0, 50, 2, 255, 2, 255})
+	// Exercise slot reuse: schedule, run (vacates slot), schedule again (reuses
+	// slot under a new generation), then stale-cancel the fired event.
+	f.Add([]byte{0, 1, 2, 2, 0, 1, 1, 0, 2, 255, 3, 0})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		e := NewEngine()
 		type modelEvent struct {
@@ -54,6 +93,7 @@ func FuzzEventHeap(f *testing.F) {
 		}
 		var (
 			pending []modelEvent
+			retired []EventID // IDs whose events fired or were cancelled
 			fired   []int
 			nextLab int
 		)
@@ -86,11 +126,12 @@ func FuzzEventHeap(f *testing.F) {
 			out := make([]int, len(due))
 			for i, ev := range due {
 				out[i] = ev.label
+				retired = append(retired, ev.id)
 			}
 			return out
 		}
 		for i := 0; i+1 < len(ops); i += 2 {
-			op, arg := ops[i]%4, ops[i+1]
+			op, arg := ops[i]%5, ops[i+1]
 			switch op {
 			case 0: // schedule arg ns from now
 				schedule(arg)
@@ -106,6 +147,7 @@ func FuzzEventHeap(f *testing.F) {
 				if e.Cancel(ev.id) {
 					t.Fatalf("second Cancel(%d) returned true", ev.id)
 				}
+				retired = append(retired, ev.id)
 				pending = append(pending[:k], pending[k+1:]...)
 			case 2: // run to a horizon
 				until := e.Now().Add(Duration(arg))
@@ -127,6 +169,7 @@ func FuzzEventHeap(f *testing.F) {
 					want = append(want, earliest.label)
 					for k, ev := range pending {
 						if ev.id == earliest.id {
+							retired = append(retired, ev.id)
 							pending = append(pending[:k], pending[k+1:]...)
 							break
 						}
@@ -139,6 +182,18 @@ func FuzzEventHeap(f *testing.F) {
 				}
 				if !slices.Equal(fired, want) {
 					t.Fatalf("Step fired %v, want %v", fired, want)
+				}
+			case 4: // stale-cancel the arg-th retired ID: must be a safe no-op
+				if len(retired) == 0 {
+					continue
+				}
+				id := retired[int(arg)%len(retired)]
+				before := e.Pending()
+				if e.Cancel(id) {
+					t.Fatalf("stale Cancel(%d) returned true", id)
+				}
+				if e.Pending() != before {
+					t.Fatalf("stale Cancel(%d) changed Pending %d -> %d", id, before, e.Pending())
 				}
 			}
 			if e.Pending() != len(pending) {

@@ -1,0 +1,146 @@
+package sim
+
+import "sync"
+
+// Coordinator executes several engines under a conservative time-window
+// barrier so one simulation run can use multiple cores while remaining
+// byte-identical to single-engine execution.
+//
+// Engines[0] is the control engine: it owns globally-entangled actors
+// (adversaries, churn joiners, minion nodes) whose events read or mutate
+// state across many peers. Engines[1:] are peer shards, each owning a
+// disjoint contiguous range of peers. The window protocol:
+//
+//   - T is the globally earliest pending event time.
+//   - If the control engine owns T it runs exclusively — every peer shard is
+//     quiescent and fully caught up past all events < T, so control events
+//     observe exactly the state a sequential run would. Its window is capped
+//     at min(T+lookahead, earliest peer event, horizon): the lookahead cap
+//     keeps any message it emits from needing to land inside the window, and
+//     the peer cap keeps it from running past work peers still owe.
+//   - Otherwise every peer shard with an event before W = min(T+lookahead,
+//     next control event, horizon) runs [its current position, W) in
+//     parallel. Lookahead is a lower bound on cross-engine message latency,
+//     so no message sent inside the window can arrive before W.
+//
+// After every window the Drain hook runs on the coordinator goroutine with
+// all engines quiescent; it is where deferred cross-engine deliveries are
+// sorted into canonical order and scheduled (see netsim). The barrier
+// between a window and its drain is a happens-before edge, so drain-time
+// scheduling needs no locks.
+type Coordinator struct {
+	Engines []*Engine
+	// Lookahead is the minimum cross-engine delivery latency. Windows never
+	// extend further than this past their opening event, which is what makes
+	// in-window sends safe to defer to the next barrier. Values below 1ns are
+	// clamped to 1ns (correct, but degenerates to near-sequential stepping).
+	Lookahead Duration
+	// Drain, if set, is called after every window barrier (and once before
+	// the first window) to schedule deferred cross-engine deliveries.
+	Drain func()
+}
+
+// Run executes events on all engines in global timestamp order up to and
+// including until, then advances every engine's clock to the horizon.
+// Events remaining beyond the horizon stay queued, as with Engine.Run.
+func (c *Coordinator) Run(until Time) {
+	n := len(c.Engines)
+	if n == 1 {
+		if c.Drain != nil {
+			c.Drain()
+		}
+		c.Engines[0].Run(until)
+		return
+	}
+	la := Time(c.Lookahead)
+	if la < 1 {
+		la = 1
+	}
+
+	work := make([]chan Time, n)
+	done := make(chan struct{}, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		work[i] = make(chan Time, 1)
+		wg.Add(1)
+		go func(e *Engine, ch chan Time) {
+			defer wg.Done()
+			for w := range ch {
+				e.RunBefore(w)
+				done <- struct{}{}
+			}
+		}(c.Engines[i], work[i])
+	}
+
+	active := make([]int, 0, n)
+	for {
+		if c.Drain != nil {
+			c.Drain()
+		}
+		var (
+			T   Time
+			has bool
+		)
+		for _, e := range c.Engines {
+			if t, ok := e.Next(); ok && (!has || t < T) {
+				T, has = t, true
+			}
+		}
+		if !has || T > until {
+			break
+		}
+		tc, hasC := c.Engines[0].Next()
+		if hasC && tc == T {
+			// Control window: exclusive, bounded by lookahead and by the
+			// earliest peer event. A peer event tied to the same instant
+			// would collapse the window to zero; the canonical rule is that
+			// control fires first, so widen to exactly that instant.
+			w := tc + la
+			for _, e := range c.Engines[1:] {
+				if t, ok := e.Next(); ok && t < w {
+					w = t
+				}
+			}
+			if until+1 < w {
+				w = until + 1
+			}
+			if w <= tc {
+				w = tc + 1
+			}
+			c.Engines[0].RunBefore(w)
+			continue
+		}
+		w := T + la
+		if hasC && tc < w {
+			w = tc
+		}
+		if until+1 < w {
+			w = until + 1
+		}
+		active = active[:0]
+		for i := 1; i < n; i++ {
+			if t, ok := c.Engines[i].Next(); ok && t < w {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 1 {
+			// Single-owner window: run inline, skipping the dispatch round
+			// trip. Sparse phases of a run spend most windows here.
+			c.Engines[active[0]].RunBefore(w)
+		} else {
+			for _, i := range active {
+				work[i] <- w
+			}
+			for range active {
+				<-done
+			}
+		}
+	}
+	for i := 1; i < n; i++ {
+		close(work[i])
+	}
+	wg.Wait()
+	for _, e := range c.Engines {
+		e.AdvanceTo(until)
+	}
+}

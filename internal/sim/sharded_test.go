@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+// toyMsg is a deferred cross-engine delivery in the test harness below. The
+// canonical drain key (at, sendAt, lineage, src, idx) mirrors the policy the
+// real netsim layer uses.
+type toyMsg struct {
+	at, sendAt Time
+	lineage    uint64
+	src, idx   int
+	from, dst  int
+	v          uint64
+}
+
+// toyNet wires peers spread across engines with deterministic latencies that
+// collide on purpose: broadcasts fan out on a millisecond grid, so groups of
+// replies arrive at the same instant and the drain's canonical order must
+// reproduce the sequential engine's FIFO tie-break exactly.
+type toyNet struct {
+	engines []*Engine
+	peerEng []int // peer -> engine index; control actor is -1 -> engine 0
+	outbox  [][]toyMsg
+	gorigin uint64
+	state   []uint64 // per-peer order-sensitive fold
+	control uint64
+	deliver func(m toyMsg)
+}
+
+func (tn *toyNet) engineOf(actor int) int {
+	if actor < 0 {
+		return 0
+	}
+	return tn.peerEng[actor]
+}
+
+func (tn *toyNet) send(from, to int, v uint64, delay Duration) {
+	src := tn.engineOf(from)
+	dst := tn.engineOf(to)
+	e := tn.engines[src]
+	m := toyMsg{
+		at:      e.Now().Add(delay),
+		sendAt:  e.Now(),
+		lineage: e.CurLineage(),
+		src:     src,
+		from:    from,
+		dst:     to,
+		v:       v,
+	}
+	if src == dst {
+		tn.engines[dst].At(m.at, func() { tn.deliver(m) })
+		return
+	}
+	m.idx = len(tn.outbox[src])
+	tn.outbox[src] = append(tn.outbox[src], m)
+}
+
+func (tn *toyNet) drain() {
+	var all []toyMsg
+	for s := range tn.outbox {
+		all = append(all, tn.outbox[s]...)
+		tn.outbox[s] = tn.outbox[s][:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		switch {
+		case a.at != b.at:
+			return a.at < b.at
+		case a.sendAt != b.sendAt:
+			return a.sendAt < b.sendAt
+		case a.lineage != b.lineage:
+			return a.lineage < b.lineage
+		case a.src != b.src:
+			return a.src < b.src
+		default:
+			return a.idx < b.idx
+		}
+	})
+	for _, m := range all {
+		tn.gorigin++
+		m := m
+		tn.engines[tn.engineOf(m.dst)].AtLineage(m.at, tn.gorigin, func() { tn.deliver(m) })
+	}
+}
+
+// runToy executes the colliding-broadcast workload on 1+shards engines and
+// returns the per-peer folded states plus the control actor's fold.
+func runToy(t *testing.T, peers, shards int, horizon Time) ([]uint64, uint64) {
+	t.Helper()
+	engines := make([]*Engine, 1+shards)
+	var lineageCtr uint64
+	for i := range engines {
+		engines[i] = NewEngine()
+		engines[i].SetLineageSource(&lineageCtr)
+	}
+	tn := &toyNet{
+		engines: engines,
+		peerEng: make([]int, peers),
+		outbox:  make([][]toyMsg, len(engines)),
+		state:   make([]uint64, peers),
+	}
+	for i := 0; i < peers; i++ {
+		tn.peerEng[i] = 1 + i*shards/peers
+		if shards == 0 {
+			tn.peerEng[i] = 0
+		}
+	}
+	fold := func(s uint64, m toyMsg) uint64 {
+		return s*1000003 + m.v*31 + uint64(m.sendAt%977)
+	}
+	tn.deliver = func(m toyMsg) {
+		if m.dst < 0 {
+			tn.control = fold(tn.control, m)
+			return
+		}
+		tn.state[m.dst] = fold(tn.state[m.dst], m)
+		switch m.from {
+		case 0:
+			// Reply to a broadcast from peer 0. Latency depends only on
+			// self%3, so replies from a whole residue class of peers arrive
+			// back at peer 0 at the same nanosecond.
+			if m.dst != 0 {
+				tn.send(m.dst, 0, tn.state[m.dst], 2*Millisecond+Duration(m.dst%3)*Millisecond)
+			}
+		case -1:
+			tn.send(m.dst, -1, tn.state[m.dst], 2*Millisecond+Duration(m.dst%3)*Millisecond)
+		}
+	}
+	// Peer 0 broadcasts on a coarse grid; arrival groups collide by dst%3.
+	eng0 := engines[tn.engineOf(0)]
+	for k := 0; k < 4; k++ {
+		at := Time(10*Millisecond) + Time(k)*Time(100*Millisecond)
+		eng0.At(at, func() {
+			for d := 1; d < peers; d++ {
+				tn.send(0, d, uint64(d)*7, 2*Millisecond+Duration(d%3)*Millisecond)
+			}
+		})
+	}
+	// A control-engine actor broadcasts too, exercising exclusive control
+	// windows interleaved with peer windows.
+	engines[0].At(Time(53*Millisecond), func() {
+		for d := 0; d < peers; d++ {
+			tn.send(-1, d, 1000+uint64(d), 2*Millisecond+Duration(d%2)*Millisecond)
+		}
+	})
+	// Per-peer local ticks keep every shard busy between broadcasts.
+	for i := 0; i < peers; i++ {
+		i := i
+		e := engines[tn.engineOf(i)]
+		e.At(Time(7*Millisecond)+Time(i), func() {
+			tn.state[i] = tn.state[i]*31 + uint64(i)
+		})
+	}
+
+	c := &Coordinator{Engines: engines, Lookahead: 2 * Millisecond, Drain: tn.drain}
+	if shards == 0 {
+		c.Engines = engines[:1]
+	}
+	c.Run(horizon)
+	for _, e := range c.Engines {
+		if e.Now() != horizon {
+			t.Fatalf("engine clock %v, want horizon %v", e.Now(), horizon)
+		}
+	}
+	return tn.state, tn.control
+}
+
+// TestCoordinatorByteIdentical pins that sharded execution reproduces the
+// single-engine run exactly, including the order of same-instant cross-shard
+// arrivals produced by colliding fan-out latencies.
+func TestCoordinatorByteIdentical(t *testing.T) {
+	const peers = 12
+	horizon := Time(Second)
+	refState, refCtl := runToy(t, peers, 0, horizon)
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		state, ctl := runToy(t, peers, shards, horizon)
+		for i := range state {
+			if state[i] != refState[i] {
+				t.Errorf("shards=%d: peer %d state %d, want %d", shards, i, state[i], refState[i])
+			}
+		}
+		if ctl != refCtl {
+			t.Errorf("shards=%d: control state %d, want %d", shards, ctl, refCtl)
+		}
+	}
+}
+
+// TestCoordinatorProgress pins that windows always make progress even when a
+// control event ties with a peer event at the same instant.
+func TestCoordinatorProgress(t *testing.T) {
+	ctl := NewEngine()
+	peer := NewEngine()
+	var order []string
+	ctl.At(Time(5), func() { order = append(order, "ctl") })
+	peer.At(Time(5), func() { order = append(order, "peer") })
+	c := &Coordinator{Engines: []*Engine{ctl, peer}, Lookahead: Duration(100)}
+	c.Run(Time(10))
+	want := fmt.Sprint([]string{"ctl", "peer"})
+	if got := fmt.Sprint(order); got != want {
+		t.Fatalf("tied-instant order %v, want %v", got, want)
+	}
+	if ctl.Now() != Time(10) || peer.Now() != Time(10) {
+		t.Fatalf("clocks %v/%v, want 10", ctl.Now(), peer.Now())
+	}
+}

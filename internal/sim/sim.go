@@ -4,6 +4,10 @@
 // scheduled for the same instant fire in FIFO order of scheduling, which —
 // combined with the deterministic prng package — makes whole simulation runs
 // reproducible bit-for-bit.
+//
+// For single-run parallelism, a Coordinator (see sharded.go) drives several
+// engines under a conservative time-window barrier; each engine remains a
+// single-goroutine computation within its windows.
 package sim
 
 import (
@@ -54,15 +58,23 @@ func (t Time) String() string {
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
-// EventID is never issued.
+// EventID is never issued. An ID packs a slot index (low 32 bits, biased by
+// one so the zero ID stays invalid) and a per-slot generation tag (high 32
+// bits); a slot's generation bumps every time it is vacated, so a stale
+// Cancel of a fired or already-cancelled event is a cheap, safe no-op.
 type EventID uint64
 
 type event struct {
-	at   Time
-	seq  uint64 // FIFO tie-break for events at the same instant
-	id   EventID
-	fn   func()
-	heap int // index within the heap, -1 when popped
+	at  Time
+	seq uint64 // FIFO tie-break for events at the same instant
+	id  EventID
+	// lineage is a causal-order tag used by sharded execution: events created
+	// while another event runs inherit that event's lineage, and cross-shard
+	// deliveries are stamped with a fresh globally-monotone value in canonical
+	// drain order. Single-engine runs carry it at no behavioral cost.
+	lineage uint64
+	fn      func()
+	heap    int // index within the heap, -1 when popped
 }
 
 type eventHeap []*event
@@ -101,31 +113,83 @@ type Engine struct {
 	now     Time
 	queue   eventHeap
 	nextSeq uint64
-	nextID  EventID
-	live    map[EventID]*event
-	stopped bool
+	// Dense event index: slots[i] holds the live event whose ID carries slot
+	// i, gens[i] its current generation. A map was measured to dominate
+	// schedule/cancel costs at large populations; the dense index makes both
+	// O(1) with no hashing and no per-event map buckets.
+	slots     []*event
+	gens      []uint32
+	freeSlots []uint32
+	stopped   bool
 	// free pools event structs released on fire/cancel. A long run schedules
 	// millions of events but holds only a bounded number at once, so the hot
-	// path recycles instead of allocating. IDs are never reused, so a stale
-	// Cancel cannot touch a recycled event.
+	// path recycles instead of allocating. Slot generations make stale IDs
+	// harmless, so recycling never aliases a cancellable event.
 	free []*event
+
+	// lineage tagging (see event.lineage). curLineage is the lineage of the
+	// currently executing event; inEvent distinguishes execution-time
+	// scheduling (inherit) from build-time scheduling (draw fresh from the
+	// shared counter, when one is attached).
+	curLineage uint64
+	inEvent    bool
+	lineageCtr *uint64
 
 	// Executed counts events that have fired, for progress reporting and
 	// engine benchmarks.
 	Executed uint64
+
+	// Progress, when non-nil, is called every progressStride executed events
+	// with the current clock and total executed count. Used for coarse
+	// observability of long runs; the stride keeps it off the hot path.
+	Progress       func(now Time, executed uint64)
+	progressStride uint64
 }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
-	return &Engine{live: make(map[EventID]*event)}
+	return &Engine{}
+}
+
+// SetLineageSource attaches a shared counter used to stamp events scheduled
+// outside event execution (world construction). Engines sharing one counter
+// give build-time events globally ordered lineage tags.
+func (e *Engine) SetLineageSource(ctr *uint64) { e.lineageCtr = ctr }
+
+// SetProgress installs a progress callback invoked every stride executed
+// events. A nil fn or non-positive stride disables reporting.
+func (e *Engine) SetProgress(stride uint64, fn func(now Time, executed uint64)) {
+	if fn == nil || stride == 0 {
+		e.Progress = nil
+		e.progressStride = 0
+		return
+	}
+	e.Progress = fn
+	e.progressStride = stride
 }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// CurLineage returns the lineage tag of the currently executing event (zero
+// outside execution or on engines without lineage tracking).
+func (e *Engine) CurLineage() uint64 { return e.curLineage }
+
 // At schedules fn to run at instant t. Scheduling in the past (before Now)
 // panics: it always indicates a logic error in a discrete-event model.
 func (e *Engine) At(t Time, fn func()) EventID {
+	lin := e.curLineage
+	if !e.inEvent && e.lineageCtr != nil {
+		*e.lineageCtr++
+		lin = *e.lineageCtr
+	}
+	return e.AtLineage(t, lin, fn)
+}
+
+// AtLineage schedules fn at instant t with an explicit lineage tag. It is
+// the scheduling entry point used by the cross-shard drain, which stamps
+// deliveries in canonical order.
+func (e *Engine) AtLineage(t Time, lineage uint64, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
@@ -133,19 +197,37 @@ func (e *Engine) At(t Time, fn func()) EventID {
 		panic("sim: nil event function")
 	}
 	e.nextSeq++
-	e.nextID++
+	var slot uint32
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		slot = uint32(len(e.slots))
+		e.slots = append(e.slots, nil)
+		e.gens = append(e.gens, 0)
+	}
+	id := EventID(e.gens[slot])<<32 | EventID(slot+1)
 	var ev *event
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+		*ev = event{at: t, seq: e.nextSeq, id: id, lineage: lineage, fn: fn}
 	} else {
-		ev = &event{at: t, seq: e.nextSeq, id: e.nextID, fn: fn}
+		ev = &event{at: t, seq: e.nextSeq, id: id, lineage: lineage, fn: fn}
 	}
 	heap.Push(&e.queue, ev)
-	e.live[ev.id] = ev
-	return ev.id
+	e.slots[slot] = ev
+	return id
+}
+
+// detach vacates the slot carried by ev's ID and bumps its generation so the
+// ID can never resolve again.
+func (e *Engine) detach(ev *event) {
+	slot := uint32(ev.id) - 1
+	e.gens[slot]++
+	e.slots[slot] = nil
+	e.freeSlots = append(e.freeSlots, slot)
 }
 
 // release returns a popped or cancelled event to the pool, dropping its
@@ -164,14 +246,27 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 	return e.At(e.now.Add(d), fn)
 }
 
+// lookup resolves a live event by ID, or nil for stale/invalid IDs.
+func (e *Engine) lookup(id EventID) *event {
+	slot := uint32(id)
+	if slot == 0 {
+		return nil
+	}
+	slot--
+	if int(slot) >= len(e.slots) || e.gens[slot] != uint32(id>>32) {
+		return nil
+	}
+	return e.slots[slot]
+}
+
 // Cancel removes a pending event. Cancelling an event that already fired or
 // was already cancelled is a no-op and returns false.
 func (e *Engine) Cancel(id EventID) bool {
-	ev, ok := e.live[id]
-	if !ok {
+	ev := e.lookup(id)
+	if ev == nil {
 		return false
 	}
-	delete(e.live, id)
+	e.detach(ev)
 	heap.Remove(&e.queue, ev.heap)
 	e.release(ev)
 	return true
@@ -182,6 +277,27 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Stop makes Run return after the currently executing event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire pops ev (already at the heap root), advances the clock and runs it.
+func (e *Engine) fire(ev *event) {
+	heap.Pop(&e.queue)
+	e.detach(ev)
+	e.now = ev.at
+	// Recycle before firing: fn may schedule (and the pool hand out the
+	// struct again), which is safe because ev is not touched afterwards.
+	fn := ev.fn
+	lin := ev.lineage
+	e.release(ev)
+	e.inEvent = true
+	e.curLineage = lin
+	fn()
+	e.inEvent = false
+	e.curLineage = 0
+	e.Executed++
+	if e.Progress != nil && e.Executed%e.progressStride == 0 {
+		e.Progress(e.now, e.Executed)
+	}
+}
 
 // Run executes events in timestamp order until the queue is empty or the
 // clock would pass `until`. Events scheduled exactly at `until` do fire.
@@ -194,16 +310,8 @@ func (e *Engine) Run(until Time) uint64 {
 		if ev.at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		delete(e.live, ev.id)
-		e.now = ev.at
-		// Recycle before firing: fn may schedule (and the pool hand out the
-		// struct again), which is safe because ev is not touched afterwards.
-		fn := ev.fn
-		e.release(ev)
-		fn()
+		e.fire(ev)
 		n++
-		e.Executed++
 	}
 	// Advance the clock to the horizon even if the queue drained early, so
 	// time-integrated metrics cover the full window.
@@ -211,6 +319,33 @@ func (e *Engine) Run(until Time) uint64 {
 		e.now = until
 	}
 	return n
+}
+
+// RunBefore executes pending events with timestamps strictly before w and
+// returns the number executed. Unlike Run it leaves the clock at the last
+// executed event rather than advancing it to the boundary: the caller (the
+// shard coordinator) owns horizon bookkeeping. Stop applies as in Run.
+func (e *Engine) RunBefore(w Time) uint64 {
+	e.stopped = false
+	var n uint64
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at >= w {
+			break
+		}
+		e.fire(ev)
+		n++
+	}
+	return n
+}
+
+// AdvanceTo moves the clock forward to t without executing anything. Moving
+// backward is a no-op. Used by the coordinator to align shard clocks at the
+// end of a run.
+func (e *Engine) AdvanceTo(t Time) {
+	if t > e.now {
+		e.now = t
+	}
 }
 
 // Next returns the timestamp of the earliest pending event.
@@ -227,13 +362,7 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
-	delete(e.live, ev.id)
-	e.now = ev.at
-	fn := ev.fn
-	e.release(ev)
-	fn()
-	e.Executed++
+	e.fire(e.queue[0])
 	return true
 }
 

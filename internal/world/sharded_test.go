@@ -1,0 +1,117 @@
+package world
+
+import (
+	"math"
+	"testing"
+)
+
+// worldFingerprint captures every observable of a finished run, with floats
+// kept as exact bit patterns: sharded execution must match the single-engine
+// run bit for bit, not approximately.
+type worldFingerprint struct {
+	events       uint64
+	accessFail   uint64 // Float64bits
+	succPolls    uint64
+	totalPolls   uint64
+	votes        uint64
+	alarms       uint64
+	damageEvents uint64
+	repairsFixed uint64
+	damagedNow   int
+	defEffort    uint64 // Float64bits
+	advEffort    uint64 // Float64bits
+	netSent      uint64
+	netDelivered uint64
+	netDropped   uint64
+	netBytes     uint64
+	joined       int
+}
+
+func fingerprintRun(t *testing.T, cfg Config, churn Churn) (worldFingerprint, []uint64) {
+	t.Helper()
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats *JoinStats
+	if churn.MaxJoins > 0 {
+		stats = w.EnableChurn(churn)
+	}
+	w.Run()
+	fp := worldFingerprint{
+		events:       w.EventsExecuted(),
+		accessFail:   math.Float64bits(w.Metrics.AccessFailureProbability()),
+		succPolls:    w.Metrics.SuccessfulPolls(),
+		totalPolls:   w.Metrics.TotalPolls(),
+		votes:        w.Metrics.VotesSupplied,
+		alarms:       w.Metrics.Alarms,
+		damageEvents: w.Metrics.DamageEvents,
+		repairsFixed: w.Metrics.RepairsFixed,
+		damagedNow:   w.Metrics.DamagedNow(),
+		defEffort:    math.Float64bits(float64(w.DefenderEffort())),
+		advEffort:    math.Float64bits(float64(w.AdversaryLedger.Total)),
+		netSent:      w.Net.Sent,
+		netDelivered: w.Net.Delivered,
+		netDropped:   w.Net.DroppedStoppage,
+		netBytes:     w.Net.BytesDelivered,
+	}
+	ledgers := make([]uint64, 0, len(w.Peers))
+	for _, p := range w.Peers {
+		ledgers = append(ledgers, math.Float64bits(float64(p.Ledger().Total)))
+	}
+	if stats != nil {
+		fp.joined = stats.Joined
+	}
+	return fp, ledgers
+}
+
+// TestShardedMatchesSequential pins the tentpole guarantee: a sharded run is
+// bit-identical to the single-engine run at every shard count, across event
+// counts, all metrics aggregates, per-peer effort ledgers and network
+// counters — with storage damage and population churn active.
+func TestShardedMatchesSequential(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Peers = 24
+	cfg.DamageDiskYears = 1
+	churn := Churn{JoinPerYear: 20, MaxJoins: 3, FriendsPerJoiner: 3}
+	ref, refLedgers := fingerprintRun(t, cfg, churn)
+	if ref.events == 0 || ref.succPolls == 0 {
+		t.Fatalf("reference run inert: %+v", ref)
+	}
+	for _, shards := range []int{2, 3, 8} {
+		c := cfg
+		c.Shards = shards
+		got, gotLedgers := fingerprintRun(t, c, churn)
+		if len(gotLedgers) != len(refLedgers) {
+			t.Fatalf("shards=%d: %d peers, want %d", shards, len(gotLedgers), len(refLedgers))
+		}
+		for i := range refLedgers {
+			if gotLedgers[i] != refLedgers[i] {
+				t.Errorf("shards=%d: peer %d ledger bits differ", shards, i)
+				break
+			}
+		}
+		if got != ref {
+			t.Errorf("shards=%d fingerprint mismatch:\n got %+v\nwant %+v", shards, got, ref)
+		}
+	}
+}
+
+// TestShardedShardCountClamped pins that absurd shard counts degrade to one
+// peer per shard rather than empty shards.
+func TestShardedShardCountClamped(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Peers = 12
+	cfg.Shards = 64
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(w.engines); n != 13 {
+		t.Fatalf("got %d engines for 12 peers at shards=64, want 13", n)
+	}
+	w.Run()
+	if w.Metrics.SuccessfulPolls() == 0 {
+		t.Error("clamped sharded run made no progress")
+	}
+}

@@ -144,7 +144,7 @@ func TestBurstDelivery(t *testing.T) {
 		Sent: func(n int) { sent = n },
 	}
 	// Deliver directly (unit test of the expansion logic).
-	burst.Deliver(w, victim)
+	burst.Deliver(w, 0, victim)
 	if sent <= 0 || sent > 50 {
 		t.Fatalf("burst emitted %d", sent)
 	}
@@ -176,7 +176,7 @@ func TestBurstChargesLedger(t *testing.T) {
 		},
 		Ledger: ledger,
 	}
-	burst.Deliver(w, w.Peers[0])
+	burst.Deliver(w, 0, w.Peers[0])
 	if ledger.Total == 0 {
 		t.Error("burst proofs not charged")
 	}
