@@ -1,0 +1,182 @@
+package lockss
+
+// The telemetry-overhead snapshot: the always-on recorder's cost measured on
+// the simulator, where the same workload runs with and without telemetry
+// attached. Distilled into BENCH_10.json: best-of-3 events/sec for each
+// configuration, the relative overhead, and the histogram record path's
+// ns/op and allocs/op. Like the other snapshots it is a measurement first
+// and a gate second: the one acceptance bound it asserts is that attaching
+// telemetry costs at most 5% of event throughput — "always-on" is only
+// honest if nobody is tempted to turn it off.
+//
+//	LOCKSS_BENCH_OUT=BENCH_10.json go test . -run TestBenchTelemetryOverhead -v
+//
+// LOCKSS_BENCH_PEERS and LOCKSS_BENCH_DAYS shrink the workload for smoke
+// runs; the committed BENCH_10.json records the defaults.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"lockss/internal/experiment"
+	"lockss/internal/sim"
+	"lockss/internal/telemetry"
+	"lockss/internal/world"
+)
+
+// telemetryOverheadBound is the asserted ceiling on relative event-rate
+// overhead with the recorder attached.
+const telemetryOverheadBound = 0.05
+
+// telemetryBenchReport is the BENCH_10.json schema.
+type telemetryBenchReport struct {
+	Peers        int     `json:"peers"`
+	AUs          int     `json:"aus"`
+	DurationDays float64 `json:"duration_days"`
+	Events       uint64  `json:"events_executed"`
+	CPUs         int     `json:"cpus"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	Rounds       int     `json:"rounds"`
+
+	BareEventsPerSec float64 `json:"bare_events_per_sec"`
+	TelEventsPerSec  float64 `json:"telemetry_events_per_sec"`
+	// Overhead is 1 - telemetry/bare event rate (negative = noise).
+	Overhead      float64 `json:"overhead"`
+	OverheadBound float64 `json:"overhead_bound"`
+	UnderBound    bool    `json:"under_bound"`
+
+	// Samples recorded across every histogram by the telemetry run.
+	HistogramSamples uint64 `json:"histogram_samples"`
+	// The isolated record path, from a tight-loop measurement.
+	ObserveNsPerOp     float64 `json:"observe_ns_per_op"`
+	ObserveAllocsPerOp float64 `json:"observe_allocs_per_op"`
+}
+
+// telemetryBenchWorld is the overhead workload: the ScaleSmall population
+// shape, attack-free, sized down by the usual env overrides.
+func telemetryBenchWorld(t *testing.T) world.Config {
+	cfg := experiment.Options{Scale: experiment.ScaleSmall}.BaseWorld()
+	if v := os.Getenv("LOCKSS_BENCH_PEERS"); v != "" {
+		if _, err := fmt.Sscanf(v, "%d", &cfg.Peers); err != nil {
+			t.Fatalf("bad LOCKSS_BENCH_PEERS %q: %v", v, err)
+		}
+	}
+	if v := os.Getenv("LOCKSS_BENCH_DAYS"); v != "" {
+		var days int
+		if _, err := fmt.Sscanf(v, "%d", &days); err != nil {
+			t.Fatalf("bad LOCKSS_BENCH_DAYS %q: %v", v, err)
+		}
+		cfg.Duration = sim.Duration(days) * sim.Day
+	}
+	return cfg
+}
+
+// bestEventRate runs the workload rounds times and returns the best
+// events/sec plus the last run's event count (identical across runs — the
+// sim is deterministic).
+func bestEventRate(t *testing.T, cfg world.Config, rounds int, tel func() *telemetry.Telemetry) (float64, uint64, uint64) {
+	t.Helper()
+	var best float64
+	var events, samples uint64
+	for r := 0; r < rounds; r++ {
+		run := cfg
+		var rec *telemetry.Telemetry
+		if tel != nil {
+			rec = tel()
+			run.Telemetry = rec
+		}
+		w, err := world.New(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		w.Run()
+		wall := time.Since(start)
+		if e := w.EventsExecuted(); events == 0 {
+			events = e
+		} else if e != events {
+			t.Fatalf("round %d executed %d events, first run %d — workload not deterministic", r, e, events)
+		}
+		if rate := float64(events) / wall.Seconds(); rate > best {
+			best = rate
+		}
+		if rec != nil {
+			samples = 0
+			for _, h := range rec.Histograms() {
+				samples += h.H.Snapshot().Count
+			}
+		}
+	}
+	return best, events, samples
+}
+
+// TestBenchTelemetryOverhead measures the always-on recorder's cost and
+// writes the snapshot to $LOCKSS_BENCH_OUT (skipped when unset). The <= 5%
+// event-rate bound is asserted on every run.
+func TestBenchTelemetryOverhead(t *testing.T) {
+	out := os.Getenv("LOCKSS_BENCH_OUT")
+	if out == "" {
+		t.Skip("set LOCKSS_BENCH_OUT=path to run the telemetry-overhead snapshot")
+	}
+	cfg := telemetryBenchWorld(t)
+	const rounds = 3
+
+	bare, events, _ := bestEventRate(t, cfg, rounds, nil)
+	withTel, _, samples := bestEventRate(t, cfg, rounds, telemetry.New)
+	overhead := 1 - withTel/bare
+
+	// The isolated record path: a tight Observe loop, measured the way
+	// testing.Benchmark would but without a -bench invocation.
+	var h telemetry.Histogram
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(12345) })
+	const spins = 10_000_000
+	start := time.Now()
+	for i := int64(0); i < spins; i++ {
+		h.Observe(i)
+	}
+	perOp := float64(time.Since(start).Nanoseconds()) / spins
+
+	rep := telemetryBenchReport{
+		Peers:              cfg.Peers,
+		AUs:                cfg.AUs,
+		DurationDays:       float64(cfg.Duration) / float64(sim.Day),
+		Events:             events,
+		CPUs:               runtime.NumCPU(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Rounds:             rounds,
+		BareEventsPerSec:   bare,
+		TelEventsPerSec:    withTel,
+		Overhead:           overhead,
+		OverheadBound:      telemetryOverheadBound,
+		UnderBound:         overhead <= telemetryOverheadBound,
+		HistogramSamples:   samples,
+		ObserveNsPerOp:     perOp,
+		ObserveAllocsPerOp: allocs,
+	}
+
+	if samples == 0 {
+		t.Error("telemetry run recorded no histogram samples — the recorder was not attached")
+	}
+	if allocs != 0 {
+		t.Errorf("Histogram.Observe allocates %.1f per op, want 0", allocs)
+	}
+	if !rep.UnderBound {
+		t.Errorf("telemetry overhead %.2f%% exceeds the %.0f%% bound (bare %.0f ev/s, with telemetry %.0f ev/s)",
+			overhead*100, telemetryOverheadBound*100, bare, withTel)
+	}
+	t.Logf("bare %.0f ev/s, telemetry %.0f ev/s (overhead %.2f%%), %d samples, Observe %.1f ns/op %.1f allocs/op",
+		bare, withTel, overhead*100, samples, perOp, allocs)
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -5,6 +5,14 @@
 // admin /metrics and /healthz on an interval, and writes one JSON report of
 // the run plus a human summary table.
 //
+// Before shutdown the harness sweeps every node's flight recorder: per-node
+// latency histograms are merged into fleet-wide p50/p95/p99 tables (poll
+// duration, solicitation→vote latency, tally/repair time, transport queue
+// wait, scrub pass time, admin latency), and each initiator's poll span is
+// joined — by poll ID — with the votes other nodes supplied to it, giving a
+// cross-node poll timeline. Both appear under "telemetry" in the JSON report
+// and as a latency table in the summary.
+//
 //	lockss-fleet -config examples/fleet/attrition-small.json -o report.json -check
 //
 // The config is JSON with //-comment lines; see examples/fleet/ and

@@ -29,9 +29,18 @@
 // transport counters, store scrub/damage/repair counters) on a cadence, so
 // long-running demos are observable before their exit statistics. -admin
 // embeds an HTTP control plane (internal/admin) serving Prometheus-text
-// /metrics, /healthz, JSON /aus and /peers inspection, and POST /drain for
-// a graceful drain: the node stops calling polls, finishes in-flight ones,
-// flushes its store, prints exit statistics and exits 0.
+// /metrics (counters, gauges and latency histograms), /healthz, JSON /aus
+// and /peers inspection, the flight recorder's GET /polls (poll-lifecycle
+// spans, filterable by ?au= and ?outcome=) and GET /flightrecorder (raw
+// event ring), and POST /drain for a graceful drain: the node stops calling
+// polls, finishes in-flight ones, flushes its store, prints exit statistics
+// and exits 0.
+//
+// Reconfiguration without restart: SIGHUP re-applies the flag-derived
+// runtime knobs (-scrub-pace, -scrub-bandwidth, -stats-interval) to the
+// running node — useful after editing a process supervisor's flag file —
+// and POST /reload on the admin API sets any subset of the same knobs to
+// new values, e.g. {"scrub_pace":"100ms","scrub_bandwidth":1048576}.
 //
 // Transport knobs (see internal/node/transport.go): -sendqueue bounds each
 // peer's outbound message queue — when a stalled or dead peer's queue fills,
@@ -70,19 +79,24 @@ import (
 	"lockss/internal/trace"
 )
 
+// version labels the lockss_build_info metric; override at build time with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/lockss-node
+var version = "dev"
+
 // logObserver prints protocol milestones.
 type logObserver struct{ id ids.PeerID }
 
-func (o logObserver) PollConcluded(p ids.PeerID, au content.AUID, out protocol.Outcome, now sched.Time) {
+func (o logObserver) PollConcluded(p ids.PeerID, au content.AUID, pollID uint64, out protocol.Outcome, started, now sched.Time) {
 	log.Printf("poll on AU %d concluded: %v", au, out)
 }
-func (o logObserver) Alarm(p ids.PeerID, au content.AUID, now sched.Time) {
+func (o logObserver) Alarm(p ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	log.Printf("ALARM: inconclusive poll on AU %d — operator attention required", au)
 }
-func (o logObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (o logObserver) RepairApplied(p ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	log.Printf("repaired AU %d block %d", au, block)
 }
-func (o logObserver) VoteSupplied(v, p ids.PeerID, au content.AUID, now sched.Time) {
+func (o logObserver) VoteSupplied(v, p ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	log.Printf("supplied vote on AU %d to %v", au, p)
 }
 
@@ -543,9 +557,28 @@ func main() {
 	}
 	log.Printf("preserving %d AUs; polling every %v; peers: %v", len(replicas), *interval, *peers)
 
-	// The admin control plane serves /metrics, /healthz, /aus, /peers and
-	// /drain off the running node. A completed drain ends the process the
-	// same way a signal does, through the shared shutdown path below.
+	// statsCtl re-arms the periodic stats ticker at runtime; SIGHUP and the
+	// admin API's POST /reload both feed it. Buffered so senders never block;
+	// back-to-back reconfigurations coalesce to the newest interval.
+	statsCtl := make(chan time.Duration, 1)
+	setStatsInterval := func(d time.Duration) {
+		for {
+			select {
+			case statsCtl <- d:
+				return
+			default:
+				select {
+				case <-statsCtl:
+				default:
+				}
+			}
+		}
+	}
+
+	// The admin control plane serves /metrics, /healthz, /aus, /peers,
+	// /polls, /flightrecorder, /reload and /drain off the running node. A
+	// completed drain ends the process the same way a signal does, through
+	// the shared shutdown path below.
 	drained := make(chan struct{})
 	if *adminAddr != "" {
 		// The scrub health check trips when the scrubber's counters stop
@@ -567,12 +600,18 @@ func main() {
 			Logf:       log.Printf,
 			OnDrained:  func() { close(drained) },
 			ScrubStall: stall,
+			Version:    version,
+			OnReload: func(c admin.ReloadConfig) {
+				if c.StatsInterval != nil {
+					setStatsInterval(*c.StatsInterval)
+				}
+			},
 		})
 		if err := adm.Start(*adminAddr); err != nil {
 			log.Fatal(err)
 		}
 		defer adm.Close()
-		log.Printf("admin API on http://%v (metrics, healthz, aus, peers, drain)", adm.Addr())
+		log.Printf("admin API on http://%v (metrics, healthz, aus, peers, polls, flightrecorder, reload, drain)", adm.Addr())
 	}
 
 	// statsLine renders one aggregate snapshot; the periodic ticker and the
@@ -589,33 +628,66 @@ func main() {
 		}
 		return line
 	}
+	// The stats loop always runs so an interval can be switched on, off or
+	// changed at runtime (SIGHUP, POST /reload) even when the node started
+	// with -stats-interval 0.
 	statsDone := make(chan struct{})
-	if *statsIvl > 0 {
-		go func() {
-			tick := time.NewTicker(*statsIvl)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					if s, ok := nd.StatsWithin(5 * time.Second); ok {
-						log.Printf("stats: %s", statsLine(s))
-					} else {
-						log.Printf("stats: actor loop unresponsive")
-					}
-				case <-statsDone:
-					return
-				}
+	go func() {
+		tick := time.NewTicker(time.Hour)
+		tick.Stop()
+		rearm := func(d time.Duration) {
+			if d > 0 {
+				tick.Reset(d)
+				return
 			}
-		}()
-	}
+			tick.Stop()
+			// Drop a tick that fired before the Stop landed.
+			select {
+			case <-tick.C:
+			default:
+			}
+		}
+		rearm(*statsIvl)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if s, ok := nd.StatsWithin(5 * time.Second); ok {
+					log.Printf("stats: %s", statsLine(s))
+				} else {
+					log.Printf("stats: actor loop unresponsive")
+				}
+			case d := <-statsCtl:
+				rearm(d)
+				log.Printf("stats interval now %v", d)
+			case <-statsDone:
+				return
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case <-sig:
-		log.Printf("shutting down")
-	case <-drained:
-		log.Printf("drained via admin API; shutting down")
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+wait:
+	for {
+		select {
+		case <-sig:
+			log.Printf("shutting down")
+			break wait
+		case <-drained:
+			log.Printf("drained via admin API; shutting down")
+			break wait
+		case <-hup:
+			// SIGHUP re-applies the flag-derived runtime knobs — the admin
+			// API's POST /reload is the channel for setting new values.
+			nd.SetScrubPace(*scrubPace)
+			nd.SetScrubBandwidth(*scrubBW)
+			setStatsInterval(*statsIvl)
+			log.Printf("SIGHUP: reapplied scrub pace %v, scrub bandwidth %d B/s, stats interval %v",
+				*scrubPace, *scrubBW, *statsIvl)
+		}
 	}
 	close(statsDone)
 	nd.Stop() // idempotent: a no-op when the drain already stopped the node
@@ -652,4 +724,4 @@ func main() {
 // quietObserver suppresses per-vote logging.
 type quietObserver struct{ logObserver }
 
-func (q quietObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+func (q quietObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, uint64, sched.Time) {}

@@ -12,18 +12,30 @@
 //
 // Endpoints:
 //
-//	GET  /metrics  Prometheus text: transport, store and protocol counters
-//	               plus liveness gauges (lockss_actor_responsive, ...).
-//	GET  /healthz  200 when the listener is up, the actor loop answers a
-//	               bounded round trip and the scrubber is making progress;
-//	               503 with a JSON body naming the failing checks otherwise.
-//	GET  /aus      JSON: per-AU damage marks, generation, in-flight poll
-//	               deadline and graded reference list.
-//	GET  /peers    JSON: per-peer dial address, link state (live session,
-//	               queue depth, pending backoff) and per-AU grades.
-//	POST /drain    Graceful drain: stop calling polls, finish in-flight
-//	               ones, flush the store, then invoke OnDrained (the node
-//	               binary exits 0). Responds 202 immediately.
+//	GET  /metrics         Prometheus text: transport, store and protocol
+//	                      counters, latency histogram families from the
+//	                      node's telemetry recorder, liveness gauges
+//	                      (lockss_actor_responsive, ...) and build info.
+//	GET  /healthz         200 when the listener is up, the actor loop answers
+//	                      a bounded round trip and the scrubber is making
+//	                      progress; 503 with a JSON body naming the failing
+//	                      checks otherwise.
+//	GET  /aus             JSON: per-AU damage marks, generation, in-flight
+//	                      poll deadline and graded reference list.
+//	GET  /peers           JSON: per-peer dial address, link state (live
+//	                      session, queue depth, pending backoff) and per-AU
+//	                      grades.
+//	GET  /polls           JSON: recent and in-flight poll spans (initiator
+//	                      side) plus supplied votes (voter side), filterable
+//	                      by ?au= and ?outcome=.
+//	GET  /flightrecorder  JSON: the telemetry ring's recent poll-lifecycle
+//	                      events, oldest first.
+//	POST /reload          Apply runtime-tunable config (scrub pace, scrub
+//	                      bandwidth, stats interval) to the running node.
+//	POST /drain           Graceful drain: stop calling polls, finish
+//	                      in-flight ones, flush the store, then invoke
+//	                      OnDrained (the node binary exits 0). Responds 202
+//	                      immediately.
 package admin
 
 import (
@@ -32,12 +44,15 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"lockss/internal/ids"
 	"lockss/internal/node"
 	"lockss/internal/protocol"
+	"lockss/internal/telemetry"
 )
 
 // Options configures the control plane.
@@ -55,14 +70,34 @@ type Options struct {
 	// slow that stall detection is meaningless). Size it to comfortably
 	// exceed one full scrub pass: pace * blocks + the pass pause.
 	ScrubStall time.Duration
+	// Version labels the lockss_build_info metric. Default "dev".
+	Version string
+	// OnReload, if non-nil, runs after a POST /reload has applied its scrub
+	// knobs to the node, with the parsed request — the embedding binary's
+	// hook for knobs the node itself does not own (the stats interval).
+	OnReload func(ReloadConfig)
+}
+
+// ReloadConfig is the parsed body of a POST /reload; nil fields were absent
+// from the request and stay unchanged.
+type ReloadConfig struct {
+	// ScrubPace retunes the running scrubber's per-block pause.
+	ScrubPace *time.Duration
+	// ScrubBandwidth retunes the scrubber's read budget in bytes/second
+	// (0 = unlimited).
+	ScrubBandwidth *int64
+	// StatsInterval retunes the embedding binary's periodic stats line; the
+	// node ignores it (applied via Options.OnReload).
+	StatsInterval *time.Duration
 }
 
 // Server is the embedded control plane for one node.
 type Server struct {
-	n    *node.Node
-	opts Options
-	mux  *http.ServeMux
-	srv  *http.Server
+	n       *node.Node
+	opts    Options
+	mux     *http.ServeMux
+	handler http.Handler
+	srv     *http.Server
 
 	lnMu sync.Mutex
 	ln   net.Listener
@@ -81,20 +116,34 @@ func New(n *node.Node, opts Options) *Server {
 	if opts.InspectTimeout <= 0 {
 		opts.InspectTimeout = 3 * time.Second
 	}
+	if opts.Version == "" {
+		opts.Version = "dev"
+	}
 	s := &Server{n: n, opts: opts, scrubAt: time.Now()}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /aus", s.handleAUs)
 	mux.HandleFunc("GET /peers", s.handlePeers)
+	mux.HandleFunc("GET /polls", s.handlePolls)
+	mux.HandleFunc("GET /flightrecorder", s.handleFlightRecorder)
+	mux.HandleFunc("POST /reload", s.handleReload)
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	s.mux = mux
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	// Every request is timed into the node's admin-latency histogram — the
+	// control plane monitors itself with the same machinery it exposes.
+	timed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		mux.ServeHTTP(w, r)
+		n.Telemetry().AdminLatency.Observe(time.Since(start).Nanoseconds())
+	})
+	s.handler = timed
+	s.srv = &http.Server{Handler: timed, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
 
 // Handler exposes the route table (tests drive it without a listener).
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start listens on addr and serves in the background.
 func (s *Server) Start(addr string) error {
@@ -164,6 +213,61 @@ type metricRow struct {
 	name string
 	typ  string // "counter" or "gauge"
 	val  float64
+}
+
+// helpText gives every scalar family its # HELP line. A name missing here
+// still expositions cleanly (HELP is optional per family); the format lint in
+// the tests keeps the map honest for the families it covers.
+var helpText = map[string]string{
+	"lockss_up":                               "Always 1 while the admin server answers.",
+	"lockss_actor_responsive":                 "1 when the protocol actor loop answered a bounded round trip.",
+	"lockss_transport_sent_total":             "Frames successfully handed to the kernel.",
+	"lockss_transport_drops_total":            "Messages discarded anywhere on the send path.",
+	"lockss_transport_drops_queue_full_total": "Drops due to a full per-peer send queue.",
+	"lockss_transport_dials_total":            "Outbound dial attempts.",
+	"lockss_transport_redials_total":          "Dial attempts reconnecting a previously live peer.",
+	"lockss_transport_dial_failures_total":    "Dial or handshake attempts that produced no session.",
+	"lockss_transport_queue_highwater":        "Maximum per-peer outbound queue depth observed.",
+	"lockss_transport_inbound_accepted_total": "Inbound connections admitted to handshake.",
+	"lockss_transport_inbound_rejected_total": "Inbound connections refused by the admission caps.",
+	"lockss_peer_links":                       "Outbound peer links ever created.",
+	"lockss_peer_links_connected":             "Outbound peer links with a live session.",
+	"lockss_send_queue_depth":                 "Total frames waiting in outbound queues.",
+	"lockss_store_blocks_scanned_total":       "Blocks read by the scrubber.",
+	"lockss_store_blocks_verified_total":      "Scrubbed blocks that matched their manifest hash.",
+	"lockss_store_blocks_damaged_total":       "Blocks newly marked damaged.",
+	"lockss_store_blocks_repaired_total":      "Damage marks cleared by verified bytes.",
+	"lockss_store_scrub_passes_total":         "Completed full scrub passes.",
+	"lockss_store_manifest_writes_total":      "Manifest files written.",
+	"lockss_store_manifest_mutations_total":   "Manifest mutations requested.",
+	"lockss_store_manifest_commits_total":     "Group commits flushed.",
+	"lockss_store_fsyncs_total":               "fsync calls issued by the store.",
+	"lockss_store_bytes_ingested_total":       "Content bytes ingested.",
+	"lockss_store_bytes_scrubbed_total":       "Content bytes read by the scrubber.",
+	"lockss_store_damage_injected_total":      "Blocks corrupted by the damage-injection API.",
+	"lockss_polls_started_total":              "Polls this peer initiated.",
+	"lockss_polls_succeeded_total":            "Polls concluded with a landslide agreement.",
+	"lockss_polls_inquorate_total":            "Polls concluded without reaching quorum.",
+	"lockss_polls_inconclusive_total":         "Polls concluded without a landslide either way.",
+	"lockss_polls_repair_failed_total":        "Polls whose repair attempt failed.",
+	"lockss_polls_concluded_total":            "Polls concluded, any outcome.",
+	"lockss_alarms_total":                     "Inconclusive-poll alarms raised.",
+	"lockss_votes_supplied_total":             "Votes this peer supplied to other pollers.",
+	"lockss_votes_received_total":             "Valid votes received in this peer's polls.",
+	"lockss_invites_considered_total":         "Poll invitations considered.",
+	"lockss_invites_refused_total":            "Poll invitations refused.",
+	"lockss_invites_ignored_total":            "Poll invitations ignored.",
+	"lockss_repairs_served_total":             "Repair blocks served to other peers.",
+	"lockss_repairs_received_total":           "Repair blocks received and applied.",
+	"lockss_acks_timed_out_total":             "Invitation acks that timed out.",
+	"lockss_votes_timed_out_total":            "Votes that timed out.",
+	"lockss_proofs_timed_out_total":           "Effort proofs that timed out.",
+	"lockss_receipts_timed_out_total":         "Evaluation receipts that timed out.",
+	"lockss_bad_proofs_total":                 "Effort proofs that failed verification.",
+	"lockss_aus":                              "Archival units registered.",
+	"lockss_au_damaged_blocks":                "Blocks currently marked damaged across all AUs.",
+	"lockss_active_polls":                     "AUs with a poll in flight.",
+	"lockss_voter_sessions":                   "Live voter-side sessions across all AUs.",
 }
 
 // handleMetrics serves Prometheus text-format counters. Transport and store
@@ -258,8 +362,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, row := range rows {
+		if help, ok := helpText[row.name]; ok {
+			fmt.Fprintf(w, "# HELP %s %s\n", row.name, help)
+		}
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %g\n", row.name, row.typ, row.name, row.val)
 	}
+
+	fmt.Fprintf(w, "# HELP lockss_build_info Build metadata; value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE lockss_build_info gauge\n")
+	fmt.Fprintf(w, "lockss_build_info{version=%q,goversion=%q} 1\n", s.opts.Version, runtime.Version())
+
+	writeHistograms(w, s.n.Telemetry())
+}
+
+// writeHistograms expositions the telemetry recorder's histogram families as
+// native Prometheus histograms: cumulative _bucket series over the trimmed
+// log2 bounds, the implicit +Inf bucket, _sum in seconds and _count.
+func writeHistograms(w http.ResponseWriter, tel *telemetry.Telemetry) {
+	for _, fam := range tel.Histograms() {
+		name := "lockss_" + fam.Name + "_seconds"
+		snap := fam.H.Snapshot()
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, fam.Help, name)
+		bounds, cum := snap.Bounds()
+		for i, b := range bounds {
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(snap.Sum)/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, snap.Count)
+	}
+}
+
+// formatBound renders a bucket bound in seconds with enough precision for
+// telemetry.BucketFromBound to invert it exactly when the fleet harness
+// merges scraped histograms.
+func formatBound(sec float64) string {
+	return strconv.FormatFloat(sec, 'g', 17, 64)
 }
 
 func b2f(b bool) float64 {
@@ -442,6 +580,138 @@ func (s *Server) handlePeers(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, out)
+}
+
+// pollsJSON is the /polls body: the initiator-side spans and the voter-side
+// vote records a fleet-level timeline joins by poll ID.
+type pollsJSON struct {
+	Peer  uint32                 `json:"peer"`
+	Polls []telemetry.PollSpan   `json:"polls"`
+	Votes []telemetry.VoteRecord `json:"votes"`
+}
+
+// handlePolls serves the telemetry recorder's poll spans (recent concluded,
+// oldest first, then in-flight) and supplied votes. ?au=N filters both by
+// archival unit; ?outcome=success|inquorate|inconclusive|repair-failed
+// filters the spans by conclusion (in-flight spans match outcome=pending).
+func (s *Server) handlePolls(w http.ResponseWriter, r *http.Request) {
+	tel := s.n.Telemetry()
+	out := pollsJSON{
+		Peer:  uint32(s.n.ID()),
+		Polls: tel.Polls(),
+		Votes: tel.Votes(),
+	}
+	if auStr := r.URL.Query().Get("au"); auStr != "" {
+		au, err := strconv.ParseUint(auStr, 10, 32)
+		if err != nil {
+			http.Error(w, "bad au: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		out.Polls = filterInPlace(out.Polls, func(p telemetry.PollSpan) bool { return p.AU == uint32(au) })
+		out.Votes = filterInPlace(out.Votes, func(v telemetry.VoteRecord) bool { return v.AU == uint32(au) })
+	}
+	if oc := r.URL.Query().Get("outcome"); oc != "" {
+		out.Polls = filterInPlace(out.Polls, func(p telemetry.PollSpan) bool {
+			if p.Outcome == "" {
+				return oc == "pending"
+			}
+			return p.Outcome == oc
+		})
+	}
+	if out.Polls == nil {
+		out.Polls = []telemetry.PollSpan{}
+	}
+	if out.Votes == nil {
+		out.Votes = []telemetry.VoteRecord{}
+	}
+	writeJSON(w, out)
+}
+
+// filterInPlace keeps the elements of s satisfying keep, preserving order.
+func filterInPlace[T any](s []T, keep func(T) bool) []T {
+	out := s[:0]
+	for _, v := range s {
+		if keep(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// handleFlightRecorder dumps the telemetry ring: the most recent
+// poll-lifecycle events across every poll this node initiated or voted in,
+// oldest first, read without stopping the writers.
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	events := s.n.Telemetry().Ring().Snapshot()
+	if events == nil {
+		events = []telemetry.Event{}
+	}
+	writeJSON(w, events)
+}
+
+// reloadJSON is the POST /reload body; absent fields stay unchanged.
+// Durations are Go duration strings ("250ms", "1m30s").
+type reloadJSON struct {
+	ScrubPace      *string `json:"scrub_pace,omitempty"`
+	ScrubBandwidth *int64  `json:"scrub_bandwidth,omitempty"`
+	StatsInterval  *string `json:"stats_interval,omitempty"`
+}
+
+// handleReload applies runtime-tunable config to the running node: scrub
+// pace and bandwidth retune the live scrubber directly; the stats interval is
+// forwarded to the embedding binary via Options.OnReload. Responds with the
+// applied set.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req reloadJSON
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad reload body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var cfg ReloadConfig
+	if req.ScrubPace != nil {
+		d, err := time.ParseDuration(*req.ScrubPace)
+		if err != nil {
+			http.Error(w, "bad scrub_pace: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		cfg.ScrubPace = &d
+	}
+	if req.StatsInterval != nil {
+		d, err := time.ParseDuration(*req.StatsInterval)
+		if err != nil {
+			http.Error(w, "bad stats_interval: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if d <= 0 {
+			http.Error(w, "stats_interval must be positive", http.StatusBadRequest)
+			return
+		}
+		cfg.StatsInterval = &d
+	}
+	if req.ScrubBandwidth != nil {
+		if *req.ScrubBandwidth < 0 {
+			http.Error(w, "scrub_bandwidth must be >= 0", http.StatusBadRequest)
+			return
+		}
+		cfg.ScrubBandwidth = req.ScrubBandwidth
+	}
+	if cfg.ScrubPace != nil {
+		s.n.SetScrubPace(*cfg.ScrubPace)
+		s.logf("admin: reload: scrub pace -> %v", *cfg.ScrubPace)
+	}
+	if cfg.ScrubBandwidth != nil {
+		s.n.SetScrubBandwidth(*cfg.ScrubBandwidth)
+		s.logf("admin: reload: scrub bandwidth -> %d B/s", *cfg.ScrubBandwidth)
+	}
+	if cfg.StatsInterval != nil {
+		s.logf("admin: reload: stats interval -> %v", *cfg.StatsInterval)
+	}
+	if s.opts.OnReload != nil {
+		s.opts.OnReload(cfg)
+	}
+	writeJSON(w, req)
 }
 
 // handleDrain starts a graceful drain exactly once and acknowledges

@@ -5,8 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
-	"strconv"
-	"strings"
+	"runtime"
 	"testing"
 	"time"
 
@@ -14,8 +13,10 @@ import (
 	"lockss/internal/effort"
 	"lockss/internal/ids"
 	"lockss/internal/node"
+	"lockss/internal/promtext"
 	"lockss/internal/protocol"
 	"lockss/internal/reputation"
+	"lockss/internal/telemetry"
 )
 
 // testProtocolConfig compresses the protocol's preservation timescales to
@@ -106,34 +107,30 @@ func get(t *testing.T, h http.Handler, path string) (*httptest.ResponseRecorder,
 	return rec, string(body)
 }
 
-// TestMetricsTextParses checks the exposition output is well-formed
-// Prometheus text (every line a comment or "name value") and that the
-// counters a fleet scraper depends on are present with sane values.
+// TestMetricsTextParses is the metrics-format lint: the exposition output
+// must pass the strict promtext parser (well-formed HELP/TYPE declarations,
+// parseable labeled samples, cumulative histogram buckets with a +Inf bucket
+// equal to _count) and the counters a fleet scraper depends on must be
+// present with sane values.
 func TestMetricsTextParses(t *testing.T) {
 	n := newTestNode(t, nil)
-	s := New(n, Options{})
+	s := New(n, Options{Version: "test-1.0"})
+	// Warm the admin-latency histogram so at least one histogram family is
+	// non-empty when linted.
+	get(t, s.Handler(), "/healthz")
 	rec, body := get(t, s.Handler(), "/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /metrics = %d, want 200", rec.Code)
 	}
+	fams, err := promtext.Lint(body)
+	if err != nil {
+		t.Fatalf("metrics exposition failed lint: %v\n%s", err, body)
+	}
 	vals := make(map[string]float64)
-	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
-		if strings.HasPrefix(line, "# TYPE ") {
-			f := strings.Fields(line)
-			if len(f) != 4 || (f[3] != "counter" && f[3] != "gauge") {
-				t.Fatalf("malformed TYPE line %q", line)
-			}
-			continue
+	for name, f := range fams {
+		if v, ok := f.Value(); ok {
+			vals[name] = v
 		}
-		f := strings.Fields(line)
-		if len(f) != 2 {
-			t.Fatalf("malformed sample line %q", line)
-		}
-		v, err := strconv.ParseFloat(f[1], 64)
-		if err != nil {
-			t.Fatalf("non-numeric value in %q: %v", line, err)
-		}
-		vals[f[0]] = v
 	}
 	for _, want := range []string{
 		"lockss_up", "lockss_actor_responsive",
@@ -157,6 +154,51 @@ func TestMetricsTextParses(t *testing.T) {
 	}
 	if _, ok := vals["lockss_store_blocks_scanned_total"]; ok {
 		t.Error("store metrics exported for a node with no store")
+	}
+
+	// Build info: one gauge sample carrying version and goversion labels.
+	bi, ok := fams["lockss_build_info"]
+	if !ok || len(bi.Samples) != 1 {
+		t.Fatalf("lockss_build_info missing or malformed: %+v", bi)
+	}
+	if got := bi.Samples[0].Labels["version"]; got != "test-1.0" {
+		t.Errorf("build_info version = %q, want test-1.0", got)
+	}
+	if got := bi.Samples[0].Labels["goversion"]; got != runtime.Version() {
+		t.Errorf("build_info goversion = %q, want %q", got, runtime.Version())
+	}
+
+	// Every telemetry histogram family expositions, and the admin-latency
+	// one has recorded the /healthz round trip above.
+	for _, fam := range []string{
+		"lockss_poll_duration_seconds", "lockss_solicit_vote_seconds",
+		"lockss_tally_seconds", "lockss_repair_seconds",
+		"lockss_transport_queue_wait_seconds", "lockss_scrub_pass_seconds",
+		"lockss_admin_latency_seconds",
+	} {
+		f, ok := fams[fam]
+		if !ok {
+			t.Errorf("histogram family %s missing", fam)
+			continue
+		}
+		if f.Type != "histogram" {
+			t.Errorf("%s type = %s, want histogram", fam, f.Type)
+		}
+	}
+	if _, _, count, err := fams["lockss_admin_latency_seconds"].Histogram(); err != nil || count < 1 {
+		t.Errorf("admin latency histogram count = %d (%v), want >= 1", count, err)
+	}
+
+	// Round trip: every exposed bucket bound must map back to a telemetry
+	// bucket index, or fleet-side merging would silently drop samples.
+	buckets, _, _, err := fams["lockss_admin_latency_seconds"].Histogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buckets[:len(buckets)-1] { // all but +Inf
+		if _, ok := telemetry.BucketFromBound(b.LE); !ok {
+			t.Errorf("bucket bound %g does not invert to a telemetry bucket", b.LE)
+		}
 	}
 }
 

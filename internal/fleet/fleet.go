@@ -505,6 +505,9 @@ loop:
 	final := sampleTargets(Duration(time.Since(start)), f.scrapeTargets())
 	rep.Samples = append(rep.Samples, final)
 	rep.Final = f.finalReport(final)
+	// Flight-recorder sweep: histograms and poll spans only exist in-process,
+	// so they must be pulled before the nodes go away.
+	rep.Telemetry = collectTelemetry(f.scrapeTargets())
 	f.stopAll()
 	if f.cfg.DataDir != "" {
 		unrepaired, err := f.verifyStores()

@@ -187,4 +187,49 @@ func TestFleetRepairsInjectedDamage(t *testing.T) {
 	if last.Aggregate["polls_concluded"] < float64(cfg.Nodes) {
 		t.Errorf("polls_concluded = %v, want >= %d", last.Aggregate["polls_concluded"], cfg.Nodes)
 	}
+
+	// The same run's report must carry the fleet-wide flight-recorder sweep:
+	// merged latency quantiles and a cross-node poll timeline where initiator
+	// spans are joined with voter-side records by poll ID.
+	t.Run("telemetry", func(t *testing.T) {
+		tel := rep.Telemetry
+		for _, e := range tel.ScrapeErrors {
+			t.Errorf("telemetry scrape error: %s", e)
+		}
+		var pd *QuantileRow
+		for i := range tel.Quantiles {
+			if tel.Quantiles[i].Metric == "poll_duration" {
+				pd = &tel.Quantiles[i]
+			}
+		}
+		if pd == nil {
+			t.Fatalf("no merged poll_duration quantiles in report: %+v", tel.Quantiles)
+		}
+		if pd.Count < uint64(cfg.Nodes) {
+			t.Errorf("poll_duration count = %d, want >= %d (every node polls)", pd.Count, cfg.Nodes)
+		}
+		if pd.P50 <= 0 || pd.P95 < pd.P50 || pd.P99 < pd.P95 {
+			t.Errorf("poll_duration quantiles not ordered/positive: p50=%g p95=%g p99=%g", pd.P50, pd.P95, pd.P99)
+		}
+		if len(tel.Timeline) == 0 {
+			t.Fatal("poll timeline empty")
+		}
+		joined := 0
+		for _, tp := range tel.Timeline {
+			for _, v := range tp.VoterSpans {
+				if v.PollID != tp.PollID {
+					t.Errorf("voter span poll ID %d attached to poll %d", v.PollID, tp.PollID)
+				}
+				if v.Voter == tp.Poller {
+					t.Errorf("poll %d: initiator %d listed as its own voter", tp.PollID, tp.Poller)
+				}
+			}
+			if len(tp.VoterSpans) > 0 {
+				joined++
+			}
+		}
+		if joined == 0 {
+			t.Error("no timeline poll has voter spans joined from other nodes")
+		}
+	})
 }

@@ -75,6 +75,9 @@ type Report struct {
 	FaultLog []FaultEvent `json:"fault_log"`
 	Samples  []Sample     `json:"samples"`
 	Final    Final        `json:"final"`
+	// Telemetry is the fleet-wide flight-recorder sweep taken right before
+	// shutdown: merged latency quantiles and the cross-node poll timeline.
+	Telemetry TelemetrySummary `json:"telemetry"`
 }
 
 // newSampleAggregate allocates the aggregate map with its known keys.
@@ -109,6 +112,7 @@ func (r *Report) Summary() string {
 			}
 		}
 	}
+	r.Telemetry.render(&b)
 	verdict := "CONVERGED"
 	if !r.Final.Converged {
 		verdict = "NOT CONVERGED"

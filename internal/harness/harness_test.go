@@ -68,7 +68,7 @@ type countObserver struct {
 	repairs   int
 }
 
-func (o *countObserver) PollConcluded(p ids.PeerID, au content.AUID, out protocol.Outcome, now sched.Time) {
+func (o *countObserver) PollConcluded(p ids.PeerID, au content.AUID, pollID uint64, out protocol.Outcome, started, now sched.Time) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if out == protocol.OutcomeSuccess {
@@ -77,13 +77,13 @@ func (o *countObserver) PollConcluded(p ids.PeerID, au content.AUID, out protoco
 		o.other++
 	}
 }
-func (o *countObserver) Alarm(ids.PeerID, content.AUID, sched.Time) {}
-func (o *countObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (o *countObserver) Alarm(ids.PeerID, content.AUID, uint64, sched.Time) {}
+func (o *countObserver) RepairApplied(p ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.repairs++
 }
-func (o *countObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+func (o *countObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, uint64, sched.Time) {}
 
 func (o *countObserver) snapshot() (succ, other, repairs int) {
 	o.mu.Lock()

@@ -62,31 +62,31 @@ func (l *lockedCollector) OnDamage(peer ids.PeerID, au content.AUID, now sched.T
 }
 
 // PollConcluded implements protocol.Observer.
-func (l *lockedCollector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.Outcome, now sched.Time) {
+func (l *lockedCollector) PollConcluded(peer ids.PeerID, au content.AUID, pollID uint64, o protocol.Outcome, started, now sched.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.c.PollConcluded(peer, au, o, l.rel(now))
+	l.c.PollConcluded(peer, au, pollID, o, l.rel(started), l.rel(now))
 }
 
 // Alarm implements protocol.Observer.
-func (l *lockedCollector) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+func (l *lockedCollector) Alarm(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.c.Alarm(peer, au, l.rel(now))
+	l.c.Alarm(peer, au, pollID, l.rel(now))
 }
 
 // RepairApplied implements protocol.Observer.
-func (l *lockedCollector) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (l *lockedCollector) RepairApplied(peer ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.c.RepairApplied(peer, au, block, l.rel(now))
+	l.c.RepairApplied(peer, au, pollID, block, l.rel(now))
 }
 
 // VoteSupplied implements protocol.Observer.
-func (l *lockedCollector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
+func (l *lockedCollector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.c.VoteSupplied(voter, poller, au, l.rel(now))
+	l.c.VoteSupplied(voter, poller, au, pollID, l.rel(now))
 }
 
 // Finalize integrates the tail of the run.

@@ -119,8 +119,9 @@ func (c *Collector) OnDamage(peer ids.PeerID, au content.AUID, now sched.Time) {
 	}
 }
 
-// RepairApplied implements protocol.Observer.
-func (c *Collector) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+// RepairApplied implements protocol.Observer. The poll ID is ignored: the
+// paper's metrics are per-replica time integrals, not per-poll spans.
+func (c *Collector) RepairApplied(peer ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	c.touch(now)
 	i, ok := c.idx[replicaKey{peer, au}]
 	if !ok {
@@ -136,7 +137,7 @@ func (c *Collector) RepairApplied(peer ids.PeerID, au content.AUID, block int, n
 }
 
 // PollConcluded implements protocol.Observer.
-func (c *Collector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.Outcome, now sched.Time) {
+func (c *Collector) PollConcluded(peer ids.PeerID, au content.AUID, pollID uint64, o protocol.Outcome, started, now sched.Time) {
 	c.touch(now)
 	c.Polls[o]++
 	if o != protocol.OutcomeSuccess {
@@ -155,12 +156,12 @@ func (c *Collector) PollConcluded(peer ids.PeerID, au content.AUID, o protocol.O
 }
 
 // Alarm implements protocol.Observer.
-func (c *Collector) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+func (c *Collector) Alarm(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	c.Alarms++
 }
 
 // VoteSupplied implements protocol.Observer.
-func (c *Collector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
+func (c *Collector) VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	c.VotesSupplied++
 }
 

@@ -29,7 +29,7 @@ func TestAccessFailureIntegral(t *testing.T) {
 		t.Fatal("damage not tracked")
 	}
 	rs[0].ApplyRepair(0, mustRepairData(t, rs[1], 0))
-	c.RepairApplied(1, 1, 0, 300)
+	c.RepairApplied(1, 1, 7, 0, 300)
 	if c.DamagedNow() != 0 {
 		t.Fatal("repair not tracked")
 	}
@@ -57,7 +57,7 @@ func TestPartialRepairKeepsDamaged(t *testing.T) {
 	rs[0].Damage(1)
 	c.OnDamage(1, 1, 100)
 	rs[0].ApplyRepair(0, mustRepairData(t, rs[1], 0))
-	c.RepairApplied(1, 1, 0, 200)
+	c.RepairApplied(1, 1, 7, 0, 200)
 	if c.DamagedNow() != 1 {
 		t.Error("partially repaired replica should stay damaged")
 	}
@@ -65,7 +65,7 @@ func TestPartialRepairKeepsDamaged(t *testing.T) {
 		t.Error("partial repair counted as fixed")
 	}
 	rs[0].ApplyRepair(1, mustRepairData(t, rs[1], 1))
-	c.RepairApplied(1, 1, 1, 300)
+	c.RepairApplied(1, 1, 7, 1, 300)
 	if c.DamagedNow() != 0 || c.RepairsFixed != 1 {
 		t.Error("full repair not registered")
 	}
@@ -75,10 +75,10 @@ func TestMeanSuccessIntervalRenewal(t *testing.T) {
 	c := NewCollector()
 	reg(c, 2) // 2 replicas
 	day := sched.Time(24 * 3600 * 1e9)
-	c.PollConcluded(1, 1, protocol.OutcomeSuccess, 90*day)
-	c.PollConcluded(1, 1, protocol.OutcomeSuccess, 180*day)
-	c.PollConcluded(1, 2, protocol.OutcomeSuccess, 100*day)
-	c.PollConcluded(1, 2, protocol.OutcomeInquorate, 190*day)
+	c.PollConcluded(1, 1, 7, protocol.OutcomeSuccess, 80*day, 90*day)
+	c.PollConcluded(1, 1, 8, protocol.OutcomeSuccess, 170*day, 180*day)
+	c.PollConcluded(1, 2, 9, protocol.OutcomeSuccess, 90*day, 100*day)
+	c.PollConcluded(1, 2, 10, protocol.OutcomeInquorate, 180*day, 190*day)
 	c.Finalize(360 * day)
 	// Renewal estimator: 2 replicas x 360 days / 3 successes = 240 days.
 	got, ok := c.MeanSuccessInterval()
@@ -99,7 +99,7 @@ func TestMeanSuccessIntervalRenewal(t *testing.T) {
 func TestNoSuccesses(t *testing.T) {
 	c := NewCollector()
 	reg(c, 2)
-	c.PollConcluded(1, 1, protocol.OutcomeInquorate, 100)
+	c.PollConcluded(1, 1, 7, protocol.OutcomeInquorate, 50, 100)
 	c.Finalize(1000)
 	if _, ok := c.MeanSuccessInterval(); ok {
 		t.Error("interval reported with zero successes")
@@ -112,10 +112,10 @@ func TestNoSuccesses(t *testing.T) {
 func TestAlarmsAndCounts(t *testing.T) {
 	c := NewCollector()
 	reg(c, 1)
-	c.Alarm(1, 1, 10)
-	c.Alarm(1, 1, 20)
-	c.PollConcluded(1, 1, protocol.OutcomeInconclusive, 20)
-	c.VoteSupplied(2, 1, 1, 5)
+	c.Alarm(1, 1, 7, 10)
+	c.Alarm(1, 1, 7, 20)
+	c.PollConcluded(1, 1, 7, protocol.OutcomeInconclusive, 10, 20)
+	c.VoteSupplied(2, 1, 1, 7, 5)
 	c.Finalize(100)
 	if c.Alarms != 2 || c.VotesSupplied != 1 {
 		t.Errorf("counters: alarms=%d votes=%d", c.Alarms, c.VotesSupplied)

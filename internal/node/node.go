@@ -23,6 +23,7 @@ import (
 	"lockss/internal/sched"
 	"lockss/internal/session"
 	"lockss/internal/store"
+	"lockss/internal/telemetry"
 	"lockss/internal/wire"
 )
 
@@ -114,6 +115,10 @@ type Node struct {
 	peer *protocol.Peer
 	mbf  *effort.MBF
 	rnd  *prng.Source
+	// tel is the always-on flight recorder: poll-lifecycle spans and latency
+	// histograms, teed into the protocol observer chain. Its record path is
+	// lock-free, so it rides every deployment rather than being a debug knob.
+	tel *telemetry.Telemetry
 
 	loop     chan func()
 	stop     chan struct{}
@@ -162,6 +167,7 @@ func New(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		cfg:    cfg,
+		tel:    telemetry.New(),
 		mbf:    effort.NewMBF(cfg.MBF),
 		rnd:    prng.New(cfg.Seed ^ uint64(cfg.ID)*0x9e3779b97f4a7c15),
 		loop:   make(chan func(), 1024),
@@ -185,7 +191,9 @@ func New(cfg Config) (*Node, error) {
 		backoffMax:        cfg.DialBackoffMax,
 		inboundIdle:       cfg.InboundIdleTimeout,
 	}.withDefaults())
-	p, err := protocol.New(cfg.ID, cfg.Protocol, cfg.Costs, (*env)(n), cfg.Observer)
+	// The telemetry recorder leads the tee so spans are recorded before any
+	// user observer runs; TeeObserver also forwards span events to it.
+	p, err := protocol.New(cfg.ID, cfg.Protocol, cfg.Costs, (*env)(n), protocol.TeeObserver(n.tel, cfg.Observer))
 	if err != nil {
 		return nil, err
 	}
@@ -195,6 +203,26 @@ func New(cfg Config) (*Node, error) {
 
 // Peer exposes the protocol peer for inspection (replicas, stats).
 func (n *Node) Peer() *protocol.Peer { return n.peer }
+
+// Telemetry exposes the node's always-on flight recorder (histograms, poll
+// spans, event ring). Safe to read concurrently with a running node.
+func (n *Node) Telemetry() *telemetry.Telemetry { return n.tel }
+
+// SetScrubPace retunes the running scrubber's per-block pause (no-op without
+// a store). See store.SetScrubPace.
+func (n *Node) SetScrubPace(d time.Duration) {
+	if n.cfg.Store != nil {
+		n.cfg.Store.SetScrubPace(d)
+	}
+}
+
+// SetScrubBandwidth retunes the running scrubber's byte budget (no-op
+// without a store). See store.SetScrubBandwidth.
+func (n *Node) SetScrubBandwidth(bytesPerSec int64) {
+	if n.cfg.Store != nil {
+		n.cfg.Store.SetScrubBandwidth(bytesPerSec)
+	}
+}
 
 // ID returns the node's peer identity.
 func (n *Node) ID() ids.PeerID { return n.cfg.ID }
@@ -408,12 +436,16 @@ func (n *Node) Start() error {
 			Bandwidth: n.cfg.ScrubBandwidth,
 			OnDamage: func(au content.AUID, block int) {
 				n.logf("scrub: AU %d block %d damaged on disk", au, block)
+				n.tel.DamageNoticed(n.cfg.ID, au, block, (*env)(n).Now())
 				n.post(func() {
 					if n.cfg.Tap != nil {
 						n.cfg.Tap.DamageNoticed(au, block, (*env)(n).Now())
 					}
 					n.peer.RaiseAuditPriority(au)
 				})
+			},
+			OnPass: func(d time.Duration) {
+				n.tel.ScrubPass.Observe(int64(d))
 			},
 		})
 	}

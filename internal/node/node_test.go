@@ -22,7 +22,7 @@ type testObserver struct {
 	repairs   int
 }
 
-func (o *testObserver) PollConcluded(p ids.PeerID, au content.AUID, out protocol.Outcome, now sched.Time) {
+func (o *testObserver) PollConcluded(p ids.PeerID, au content.AUID, pollID uint64, out protocol.Outcome, started, now sched.Time) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if out == protocol.OutcomeSuccess {
@@ -31,13 +31,13 @@ func (o *testObserver) PollConcluded(p ids.PeerID, au content.AUID, out protocol
 		o.other++
 	}
 }
-func (o *testObserver) Alarm(ids.PeerID, content.AUID, sched.Time) {}
-func (o *testObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (o *testObserver) Alarm(ids.PeerID, content.AUID, uint64, sched.Time) {}
+func (o *testObserver) RepairApplied(p ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	o.repairs++
 }
-func (o *testObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+func (o *testObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, uint64, sched.Time) {}
 
 func (o *testObserver) snapshot() (succ, other, repairs int) {
 	o.mu.Lock()

@@ -242,7 +242,7 @@ func (t *transport) send(to ids.PeerID, m *protocol.Msg) {
 		t.drops.Add(1)
 		return
 	}
-	l.enqueue(bufp)
+	l.enqueue(queuedFrame{bufp: bufp, at: time.Now().UnixNano()})
 }
 
 // link returns the outbound link to a peer, creating it (and its writer
@@ -258,7 +258,7 @@ func (t *transport) link(to ids.PeerID) *peerLink {
 		l = &peerLink{
 			t:       t,
 			to:      to,
-			q:       make(chan *[]byte, t.cfg.sendQueue),
+			q:       make(chan queuedFrame, t.cfg.sendQueue),
 			backoff: t.cfg.backoffMin,
 		}
 		t.links[to] = l
@@ -276,7 +276,7 @@ func (t *transport) link(to ids.PeerID) *peerLink {
 type peerLink struct {
 	t  *transport
 	to ids.PeerID
-	q  chan *[]byte
+	q  chan queuedFrame
 
 	// up reports a live session to the peer (handshake completed, no
 	// failure observed since).
@@ -290,14 +290,21 @@ type peerLink struct {
 	connectedAt time.Time     // when the current session's handshake completed
 }
 
+// queuedFrame is one encoded frame plus its enqueue instant, so the writer
+// can histogram how long frames wait behind a slow link.
+type queuedFrame struct {
+	bufp *[]byte
+	at   int64 // UnixNano at enqueue
+}
+
 // enqueue offers one encoded frame to the writer; a full queue evicts the
 // oldest queued frame to make room — the protocol's time-sensitive
 // messages are the fresh ones, and the stalest frame is the one its
 // recipient is least likely to still want.
-func (l *peerLink) enqueue(bufp *[]byte) {
+func (l *peerLink) enqueue(f queuedFrame) {
 	for {
 		select {
-		case l.q <- bufp:
+		case l.q <- f:
 			depth := uint64(len(l.q))
 			for {
 				cur := l.t.queueHighWater.Load()
@@ -312,7 +319,7 @@ func (l *peerLink) enqueue(bufp *[]byte) {
 		case old := <-l.q:
 			l.t.dropsQueueFull.Add(1)
 			l.t.drops.Add(1)
-			putEncodeBuf(old)
+			putEncodeBuf(old.bufp)
 		default:
 			// The writer drained a slot in the meantime; retry the send.
 		}
@@ -340,9 +347,13 @@ func (l *peerLink) run() {
 		select {
 		case <-n.stop:
 			return
-		case bufp := <-l.q:
-			pc = l.deliver(pc, *bufp)
-			putEncodeBuf(bufp)
+		case f := <-l.q:
+			// Queue wait is the time the frame sat behind this link's
+			// earlier frames (and any dial/backoff) before the writer
+			// picked it up.
+			n.tel.QueueWait.Observe(time.Now().UnixNano() - f.at)
+			pc = l.deliver(pc, *f.bufp)
+			putEncodeBuf(f.bufp)
 		}
 	}
 }
@@ -477,9 +488,9 @@ func (l *peerLink) connect() *peerConn {
 func (l *peerLink) flush() {
 	for {
 		select {
-		case bufp := <-l.q:
+		case f := <-l.q:
 			l.t.drops.Add(1)
-			putEncodeBuf(bufp)
+			putEncodeBuf(f.bufp)
 		default:
 			return
 		}

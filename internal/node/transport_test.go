@@ -109,10 +109,10 @@ func TestQueueFullDropAccounting(t *testing.T) {
 
 	// A link with no writer goroutine: nothing drains the queue, so the
 	// arithmetic is exact.
-	l := &peerLink{t: n.tr, to: 9, q: make(chan *[]byte, 4)}
+	l := &peerLink{t: n.tr, to: 9, q: make(chan queuedFrame, 4)}
 	for i := 0; i < 10; i++ {
 		b := []byte{byte(i)}
-		l.enqueue(&b)
+		l.enqueue(queuedFrame{bufp: &b})
 	}
 	st := n.TransportStats()
 	if st.DropsQueueFull != 6 {
@@ -132,14 +132,14 @@ func TestQueueFullEvictsOldest(t *testing.T) {
 	n := newTestNode(t, Config{})
 	defer n.Stop()
 
-	l := &peerLink{t: n.tr, to: 9, q: make(chan *[]byte, 4)}
+	l := &peerLink{t: n.tr, to: 9, q: make(chan queuedFrame, 4)}
 	for i := byte(0); i < 10; i++ {
 		b := []byte{i}
-		l.enqueue(&b)
+		l.enqueue(queuedFrame{bufp: &b})
 	}
 	var got []byte
 	for len(l.q) > 0 {
-		got = append(got, (*<-l.q)[0])
+		got = append(got, (*(<-l.q).bufp)[0])
 	}
 	want := []byte{6, 7, 8, 9}
 	if string(got) != string(want) {

@@ -99,73 +99,183 @@ func (o Outcome) String() string {
 	return "invalid"
 }
 
-// Observer receives protocol-level events for metrics collection. All
-// methods are called synchronously from the protocol; implementations must
-// be cheap.
+// Observer receives protocol-level events for metrics collection. Every
+// event carries the ID of the poll it belongs to, so observers can correlate
+// events into per-poll spans without shadowing protocol state. All methods
+// are called synchronously from the protocol; implementations must be cheap.
 type Observer interface {
-	// PollConcluded fires when a peer finishes a poll on an AU.
-	PollConcluded(peer ids.PeerID, au content.AUID, outcome Outcome, now sched.Time)
+	// PollConcluded fires when a peer finishes a poll on an AU. started is
+	// the poll's start time, so now-started is the poll duration.
+	PollConcluded(peer ids.PeerID, au content.AUID, pollID uint64, outcome Outcome, started, now sched.Time)
 	// Alarm fires on an inconclusive poll.
-	Alarm(peer ids.PeerID, au content.AUID, now sched.Time)
+	Alarm(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time)
 	// RepairApplied fires after a replica block is overwritten by a repair.
-	RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time)
+	RepairApplied(peer ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time)
 	// VoteSupplied fires when a voter sends a vote.
-	VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time)
+	VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time)
+}
+
+// SpanObserver receives the finer-grained poll-lifecycle events between a
+// poll's start and its conclusion. It is optional: the protocol discovers it
+// by type-asserting the configured Observer, so implementations that do not
+// need spans pay nothing. TeeObserver forwards span events to every member
+// that implements this interface.
+type SpanObserver interface {
+	// PollStarted fires when a poller opens a poll.
+	PollStarted(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time)
+	// VoteSolicited fires each time the poller sends (or re-sends) a vote
+	// invitation to a prospective voter.
+	VoteSolicited(poller, voter ids.PeerID, au content.AUID, pollID uint64, now sched.Time)
+	// VoteReceived fires when the poller accepts a valid vote. solicitedAt
+	// is when this voter's latest invitation was sent, so now-solicitedAt is
+	// the solicitation-to-vote latency.
+	VoteReceived(poller, voter ids.PeerID, au content.AUID, pollID uint64, solicitedAt, now sched.Time)
+	// TallyStarted fires when the poller begins evaluating collected votes.
+	TallyStarted(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time)
+	// RepairRequested fires when the poller asks a voter for a repair block.
+	RepairRequested(poller, voter ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time)
 }
 
 // NopObserver ignores all events.
 type NopObserver struct{}
 
 // PollConcluded implements Observer.
-func (NopObserver) PollConcluded(ids.PeerID, content.AUID, Outcome, sched.Time) {}
+func (NopObserver) PollConcluded(ids.PeerID, content.AUID, uint64, Outcome, sched.Time, sched.Time) {
+}
 
 // Alarm implements Observer.
-func (NopObserver) Alarm(ids.PeerID, content.AUID, sched.Time) {}
+func (NopObserver) Alarm(ids.PeerID, content.AUID, uint64, sched.Time) {}
 
 // RepairApplied implements Observer.
-func (NopObserver) RepairApplied(ids.PeerID, content.AUID, int, sched.Time) {}
+func (NopObserver) RepairApplied(ids.PeerID, content.AUID, uint64, int, sched.Time) {}
 
 // VoteSupplied implements Observer.
-func (NopObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, sched.Time) {}
+func (NopObserver) VoteSupplied(ids.PeerID, ids.PeerID, content.AUID, uint64, sched.Time) {}
 
 // TeeObserver fans protocol events out to several observers in order. Nil
-// entries are skipped.
+// entries are skipped. The returned observer also implements SpanObserver,
+// forwarding span events (in the same order) to the members that implement
+// it.
 func TeeObserver(obs ...Observer) Observer {
-	kept := make([]Observer, 0, len(obs))
+	t := &teeObserver{obs: make([]Observer, 0, len(obs))}
 	for _, o := range obs {
-		if o != nil {
-			kept = append(kept, o)
+		if o == nil {
+			continue
+		}
+		t.obs = append(t.obs, o)
+		if so, ok := o.(SpanObserver); ok {
+			t.spans = append(t.spans, so)
 		}
 	}
-	return teeObserver(kept)
+	return t
 }
 
-type teeObserver []Observer
+type teeObserver struct {
+	obs   []Observer
+	spans []SpanObserver
+}
 
 // PollConcluded implements Observer.
-func (t teeObserver) PollConcluded(p ids.PeerID, au content.AUID, o Outcome, now sched.Time) {
-	for _, ob := range t {
-		ob.PollConcluded(p, au, o, now)
+func (t *teeObserver) PollConcluded(p ids.PeerID, au content.AUID, pollID uint64, o Outcome, started, now sched.Time) {
+	for _, ob := range t.obs {
+		ob.PollConcluded(p, au, pollID, o, started, now)
 	}
 }
 
 // Alarm implements Observer.
-func (t teeObserver) Alarm(p ids.PeerID, au content.AUID, now sched.Time) {
-	for _, ob := range t {
-		ob.Alarm(p, au, now)
+func (t *teeObserver) Alarm(p ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+	for _, ob := range t.obs {
+		ob.Alarm(p, au, pollID, now)
 	}
 }
 
 // RepairApplied implements Observer.
-func (t teeObserver) RepairApplied(p ids.PeerID, au content.AUID, block int, now sched.Time) {
-	for _, ob := range t {
-		ob.RepairApplied(p, au, block, now)
+func (t *teeObserver) RepairApplied(p ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
+	for _, ob := range t.obs {
+		ob.RepairApplied(p, au, pollID, block, now)
 	}
 }
 
 // VoteSupplied implements Observer.
-func (t teeObserver) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {
-	for _, ob := range t {
-		ob.VoteSupplied(voter, poller, au, now)
+func (t *teeObserver) VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+	for _, ob := range t.obs {
+		ob.VoteSupplied(voter, poller, au, pollID, now)
+	}
+}
+
+// PollStarted implements SpanObserver.
+func (t *teeObserver) PollStarted(p ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+	for _, ob := range t.spans {
+		ob.PollStarted(p, au, pollID, now)
+	}
+}
+
+// VoteSolicited implements SpanObserver.
+func (t *teeObserver) VoteSolicited(poller, voter ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+	for _, ob := range t.spans {
+		ob.VoteSolicited(poller, voter, au, pollID, now)
+	}
+}
+
+// VoteReceived implements SpanObserver.
+func (t *teeObserver) VoteReceived(poller, voter ids.PeerID, au content.AUID, pollID uint64, solicitedAt, now sched.Time) {
+	for _, ob := range t.spans {
+		ob.VoteReceived(poller, voter, au, pollID, solicitedAt, now)
+	}
+}
+
+// TallyStarted implements SpanObserver.
+func (t *teeObserver) TallyStarted(p ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+	for _, ob := range t.spans {
+		ob.TallyStarted(p, au, pollID, now)
+	}
+}
+
+// RepairRequested implements SpanObserver.
+func (t *teeObserver) RepairRequested(poller, voter ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
+	for _, ob := range t.spans {
+		ob.RepairRequested(poller, voter, au, pollID, block, now)
+	}
+}
+
+// TeeTap fans Env-tap events out to several taps in order. Nil entries are
+// skipped.
+func TeeTap(taps ...EnvTap) EnvTap {
+	kept := make([]EnvTap, 0, len(taps))
+	for _, t := range taps {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	return teeTap(kept)
+}
+
+type teeTap []EnvTap
+
+// MsgIn implements EnvTap.
+func (t teeTap) MsgIn(from ids.PeerID, frame []byte, m *Msg, now sched.Time) {
+	for _, tap := range t {
+		tap.MsgIn(from, frame, m, now)
+	}
+}
+
+// TimerFired implements EnvTap.
+func (t teeTap) TimerFired(id TimerID, now sched.Time) {
+	for _, tap := range t {
+		tap.TimerFired(id, now)
+	}
+}
+
+// MsgOut implements EnvTap.
+func (t teeTap) MsgOut(to ids.PeerID, m *Msg, now sched.Time) {
+	for _, tap := range t {
+		tap.MsgOut(to, m, now)
+	}
+}
+
+// DamageNoticed implements EnvTap.
+func (t teeTap) DamageNoticed(au content.AUID, block int, now sched.Time) {
+	for _, tap := range t {
+		tap.DamageNoticed(au, block, now)
 	}
 }

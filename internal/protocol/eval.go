@@ -66,6 +66,9 @@ func (p *Peer) runEvaluation(st *auState, poll *pollState) {
 		return
 	}
 	poll.evalDone = true
+	if p.spanObs != nil {
+		p.spanObs.TallyStarted(p.id, st.spec.ID, poll.id, p.env.Now())
+	}
 	for _, v := range poll.order {
 		sol := poll.sols[v]
 		if sol.state != solGotVote {
@@ -175,6 +178,9 @@ func (p *Peer) requestRepair(st *auState, poll *pollState, block int) {
 	target := candidates[p.env.Rand().Intn(len(candidates))]
 	poll.sols[target].tried = true
 	poll.repairAttempts++
+	if p.spanObs != nil {
+		p.spanObs.RepairRequested(p.id, target, st.spec.ID, poll.id, block, p.env.Now())
+	}
 	p.send(target, &Msg{
 		Type:   MsgRepairRequest,
 		AU:     st.spec.ID,
@@ -218,7 +224,7 @@ func (p *Peer) pollerHandleRepair(st *auState, from ids.PeerID, m *Msg) {
 		return
 	}
 	if err := st.replica.ApplyRepair(int(m.Block), m.RepairData); err == nil {
-		p.obs.RepairApplied(p.id, st.spec.ID, int(m.Block), p.env.Now())
+		p.obs.RepairApplied(p.id, st.spec.ID, poll.id, int(m.Block), p.env.Now())
 	}
 	p.recomputeDisagreements(st, poll)
 	p.evaluationLoop(st, poll)

@@ -94,11 +94,16 @@ type auState struct {
 // votes and repairs as a voter. A Peer is single-threaded: the environment
 // must deliver messages and timer callbacks sequentially.
 type Peer struct {
-	id      ids.PeerID
-	cfg     Config
-	costs   effort.CostModel
-	env     Env
-	obs     Observer
+	id    ids.PeerID
+	cfg   Config
+	costs effort.CostModel
+	env   Env
+	obs   Observer
+	// spanObs is the optional fine-grained lifecycle observer, discovered by
+	// type-asserting obs at construction; nil when the observer does not
+	// implement SpanObserver, so peers without one pay a nil check per
+	// lifecycle event and nothing more.
+	spanObs SpanObserver
 	sch     *sched.Schedule
 	ledger  *effort.Ledger
 	aus     map[content.AUID]*auState
@@ -139,15 +144,17 @@ func New(id ids.PeerID, cfg Config, costs effort.CostModel, env Env, obs Observe
 	if obs == nil {
 		obs = NopObserver{}
 	}
+	spanObs, _ := obs.(SpanObserver)
 	return &Peer{
-		id:     id,
-		cfg:    cfg,
-		costs:  costs,
-		env:    env,
-		obs:    obs,
-		sch:    sched.New(),
-		ledger: effort.NewLedger(),
-		aus:    make(map[content.AUID]*auState),
+		id:      id,
+		cfg:     cfg,
+		costs:   costs,
+		env:     env,
+		obs:     obs,
+		spanObs: spanObs,
+		sch:     sched.New(),
+		ledger:  effort.NewLedger(),
+		aus:     make(map[content.AUID]*auState),
 	}, nil
 }
 

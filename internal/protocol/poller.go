@@ -27,7 +27,8 @@ type solicitation struct {
 	attempts int
 	nonce    Nonce
 	voteBy   sched.Time
-	timer    TimerID // pending timer, if any
+	sentAt   sched.Time // when the latest invitation was sent
+	timer    TimerID    // pending timer, if any
 
 	vote      VoteData
 	voteProof effort.Proof
@@ -131,6 +132,9 @@ func (p *Peer) startPoll(st *auState, deadline sched.Time) {
 		window = p.cfg.PollInterval
 		poll.deadline = poll.started + sched.Time(window)
 	}
+	if p.spanObs != nil {
+		p.spanObs.PollStarted(p.id, st.spec.ID, poll.id, poll.started)
+	}
 
 	// Invite the inner circle at desynchronized instants across the
 	// solicitation phase. With desynchronization disabled (ablation), all
@@ -218,6 +222,10 @@ func (p *Peer) sendPollInvitation(st *auState, poll *pollState, sol *solicitatio
 		p.charge(KindIntroGen, intro)
 	}
 	sol.state = solAwaitAck
+	sol.sentAt = now
+	if p.spanObs != nil {
+		p.spanObs.VoteSolicited(p.id, sol.peer, st.spec.ID, poll.id, now)
+	}
 	p.send(sol.peer, m)
 
 	// Ack timeout: silent drops (admission control, pipe stoppage) look
@@ -354,6 +362,9 @@ func (p *Peer) pollerHandleVote(st *auState, from ids.PeerID, m *Msg) {
 	sol.vote = m.Vote
 	sol.voteProof = m.Proof
 	p.stats.VotesReceived++
+	if p.spanObs != nil {
+		p.spanObs.VoteReceived(p.id, from, st.spec.ID, poll.id, sol.sentAt, p.env.Now())
+	}
 	// The voter supplied a valid vote: raise its grade.
 	st.rep.Raise(repTime(p.env.Now()), from)
 
@@ -461,11 +472,11 @@ func (p *Peer) concludePoll(st *auState, poll *pollState, outcome Outcome) {
 	case OutcomeInconclusive:
 		p.stats.PollsInconclusive++
 		p.stats.Alarms++
-		p.obs.Alarm(p.id, st.spec.ID, now)
+		p.obs.Alarm(p.id, st.spec.ID, poll.id, now)
 	case OutcomeRepairFailed:
 		p.stats.PollsRepairFailed++
 	}
-	p.obs.PollConcluded(p.id, st.spec.ID, outcome, now)
+	p.obs.PollConcluded(p.id, st.spec.ID, poll.id, outcome, poll.started, now)
 
 	// Fixed-rate restart: the next poll concludes one interval after this
 	// poll's scheduled deadline, regardless of adversity (rate limitation:

@@ -233,7 +233,7 @@ func (p *Peer) completeVote(st *auState, s *voterSession, poller ids.PeerID) {
 
 	s.state = vsAwaitReceipt
 	p.stats.VotesSupplied++
-	p.obs.VoteSupplied(p.id, poller, st.spec.ID, p.env.Now())
+	p.obs.VoteSupplied(p.id, poller, st.spec.ID, s.key.pollID, p.env.Now())
 	p.send(poller, m)
 
 	// Waste defense: the poller owes an evaluation receipt by shortly after

@@ -35,6 +35,10 @@ type ScrubConfig struct {
 	// (outside all store locks) and must not block: a wedged callback
 	// wedges the pass and, through StopScrub, Close.
 	OnDamage func(au content.AUID, block int)
+	// OnPass, if non-nil, is called with the wall-clock duration of each
+	// completed pass (aborted passes are not reported). Called from the
+	// scrub coordinator goroutine; must not block.
+	OnPass func(d time.Duration)
 }
 
 // withDefaults fills zero fields.
@@ -68,11 +72,45 @@ func (s *Store) StartScrub(cfg ScrubConfig) {
 	}
 	stop := make(chan struct{})
 	s.scrubStop = stop
+	s.scrubPace.Store(int64(cfg.Pace))
+	s.scrubBW.Store(cfg.Bandwidth)
+	s.scrubBucket = newTokenBucket(cfg.Bandwidth)
+	bucket := s.scrubBucket
 	s.mu.Unlock()
 
 	s.scrubWG.Add(1)
-	go s.scrubLoop(cfg, stop)
+	go s.scrubLoop(cfg, bucket, stop)
 }
+
+// SetScrubPace retunes the per-block pause of a running scrubber; workers
+// pick the new pace up at their next block. Also effective before StartScrub
+// is called again: StartScrub resets it from its config. Negative means no
+// pause.
+func (s *Store) SetScrubPace(d time.Duration) {
+	if d == 0 {
+		d = time.Second
+	}
+	s.scrubPace.Store(int64(d))
+}
+
+// ScrubPace reports the scrubber's current per-block pause.
+func (s *Store) ScrubPace() time.Duration { return time.Duration(s.scrubPace.Load()) }
+
+// SetScrubBandwidth retunes the scrubber's shared read budget in
+// bytes/second (0 = unlimited) without restarting it. Workers blocked in the
+// token bucket observe the new rate on their next wakeup.
+func (s *Store) SetScrubBandwidth(bytesPerSec int64) {
+	s.scrubBW.Store(bytesPerSec)
+	s.mu.Lock()
+	bucket := s.scrubBucket
+	s.mu.Unlock()
+	if bucket != nil {
+		bucket.setRate(bytesPerSec)
+	}
+}
+
+// ScrubBandwidth reports the scrubber's current byte budget (0 = unlimited).
+func (s *Store) ScrubBandwidth() int64 { return s.scrubBW.Load() }
 
 // StopScrub halts the scrubber and waits for it (and every worker) to exit.
 // Safe to call when none is running.
@@ -90,10 +128,10 @@ func (s *Store) StopScrub() {
 // scrubLoop coordinates passes: each pass snapshots the replica list, deals
 // it round-robin into Workers shards, runs the shards concurrently, and
 // counts the pass only when every shard finished it.
-func (s *Store) scrubLoop(cfg ScrubConfig, stop chan struct{}) {
+func (s *Store) scrubLoop(cfg ScrubConfig, bucket *tokenBucket, stop chan struct{}) {
 	defer s.scrubWG.Done()
-	bucket := newTokenBucket(cfg.Bandwidth)
 	for {
+		passStart := time.Now()
 		reps := s.Replicas()
 		shards := make([][]*Replica, cfg.Workers)
 		for i, r := range reps {
@@ -117,6 +155,9 @@ func (s *Store) scrubLoop(cfg ScrubConfig, stop chan struct{}) {
 		default:
 		}
 		s.scrubPasses.Add(1)
+		if cfg.OnPass != nil {
+			cfg.OnPass(time.Since(passStart))
+		}
 		if !sleepOrStop(cfg.PassPause, stop) {
 			return
 		}
@@ -130,7 +171,9 @@ func (s *Store) scrubShard(shard []*Replica, cfg ScrubConfig, bucket *tokenBucke
 	for _, r := range shard {
 		spec := r.Spec()
 		for i := 0; i < spec.Blocks(); i++ {
-			if !sleepOrStop(cfg.Pace, stop) {
+			// Pace is re-read per block so SetScrubPace retunes a
+			// running pass, not just the next one.
+			if !sleepOrStop(time.Duration(s.scrubPace.Load()), stop) {
 				return
 			}
 			lo, hi := blockRange(spec, i)
@@ -177,27 +220,37 @@ func sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
 }
 
 // tokenBucket is the scrubber's shared IO budget: rate bytes/second with a
-// one-second burst, shared by every worker. A nil bucket (unlimited) always
-// admits.
+// one-second burst, shared by every worker. Rate <= 0 (and a nil bucket)
+// means unlimited: always admit. The rate is settable at runtime so a config
+// reload retunes a long-running scrub without restarting it.
 type tokenBucket struct {
-	rate  float64
-	burst float64
-
 	mu     sync.Mutex
+	rate   float64
+	burst  float64
 	tokens float64
 	last   time.Time
 }
 
 func newTokenBucket(bytesPerSec int64) *tokenBucket {
-	if bytesPerSec <= 0 {
-		return nil
-	}
 	return &tokenBucket{
 		rate:   float64(bytesPerSec),
 		burst:  float64(bytesPerSec),
 		tokens: float64(bytesPerSec),
 		last:   time.Now(),
 	}
+}
+
+// setRate replaces the budget. Lowering the rate clamps accumulated credit
+// so the first second after a reload doesn't burst at the old rate.
+func (b *tokenBucket) setRate(bytesPerSec int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rate = float64(bytesPerSec)
+	b.burst = float64(bytesPerSec)
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = time.Now()
 }
 
 // take blocks until n bytes of budget are available (or stop closes,
@@ -216,6 +269,15 @@ func (b *tokenBucket) take(n int64, stop <-chan struct{}) bool {
 	need := float64(n)
 	for {
 		b.mu.Lock()
+		if b.rate <= 0 {
+			b.mu.Unlock()
+			select {
+			case <-stop:
+				return false
+			default:
+				return true
+			}
+		}
 		now := time.Now()
 		b.tokens += now.Sub(b.last).Seconds() * b.rate
 		if b.tokens > b.burst {

@@ -81,6 +81,11 @@ type Store struct {
 
 	scrubStop chan struct{}
 	scrubWG   sync.WaitGroup
+	// Runtime-tunable scrub knobs (see SetScrubPace / SetScrubBandwidth);
+	// scrubBucket is guarded by mu, the knobs are atomics read per block.
+	scrubPace   atomic.Int64
+	scrubBW     atomic.Int64
+	scrubBucket *tokenBucket
 
 	closeOnce sync.Once
 	closeErr  error

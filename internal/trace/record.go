@@ -116,24 +116,27 @@ func (r *Recorder) DamageNoticed(au content.AUID, block int, now sched.Time) {
 	r.record(Record{Kind: KindDamage, T: int64(now), AU: au, Block: block})
 }
 
-// PollConcluded implements protocol.Observer.
-func (r *Recorder) PollConcluded(peer ids.PeerID, au content.AUID, outcome protocol.Outcome, now sched.Time) {
+// PollConcluded implements protocol.Observer. The poll ID and start time are
+// deliberately not serialized: the trace format (and its pinned goldens) is
+// byte-stable, and replay re-derives both from the input stream anyway.
+func (r *Recorder) PollConcluded(peer ids.PeerID, au content.AUID, pollID uint64, outcome protocol.Outcome, started, now sched.Time) {
 	r.record(Record{Kind: KindPoll, T: int64(now), AU: au, Outcome: outcome.String()})
 }
 
 // Alarm implements protocol.Observer.
-func (r *Recorder) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+func (r *Recorder) Alarm(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	r.record(Record{Kind: KindAlarm, T: int64(now), AU: au})
 }
 
 // RepairApplied implements protocol.Observer.
-func (r *Recorder) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (r *Recorder) RepairApplied(peer ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	r.record(Record{Kind: KindRepair, T: int64(now), AU: au, Block: block})
 }
 
 // VoteSupplied implements protocol.Observer. Vote sends are already captured
 // as send records; this adds nothing for replay diffing.
-func (r *Recorder) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {}
+func (r *Recorder) VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+}
 
 // Err returns the sticky error, if any.
 func (r *Recorder) Err() error {

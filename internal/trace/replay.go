@@ -136,19 +136,20 @@ type replayObserver struct {
 	out *[]string
 }
 
-func (o replayObserver) PollConcluded(peer ids.PeerID, au content.AUID, outcome protocol.Outcome, now sched.Time) {
+func (o replayObserver) PollConcluded(peer ids.PeerID, au content.AUID, pollID uint64, outcome protocol.Outcome, started, now sched.Time) {
 	*o.out = append(*o.out, (&Record{Kind: KindPoll, AU: au, Outcome: outcome.String()}).Key())
 }
 
-func (o replayObserver) Alarm(peer ids.PeerID, au content.AUID, now sched.Time) {
+func (o replayObserver) Alarm(peer ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
 	*o.out = append(*o.out, (&Record{Kind: KindAlarm, AU: au}).Key())
 }
 
-func (o replayObserver) RepairApplied(peer ids.PeerID, au content.AUID, block int, now sched.Time) {
+func (o replayObserver) RepairApplied(peer ids.PeerID, au content.AUID, pollID uint64, block int, now sched.Time) {
 	*o.out = append(*o.out, (&Record{Kind: KindRepair, AU: au, Block: block}).Key())
 }
 
-func (o replayObserver) VoteSupplied(voter, poller ids.PeerID, au content.AUID, now sched.Time) {}
+func (o replayObserver) VoteSupplied(voter, poller ids.PeerID, au content.AUID, pollID uint64, now sched.Time) {
+}
 
 // maxDivergences bounds the report; past this the diff is noise.
 const maxDivergences = 50

@@ -57,9 +57,9 @@ func recordSample(t testing.TB) []byte {
 	r.TimerFired(1, 1_000_020)
 	r.DamageNoticed(1, 0, 1_000_030)
 	r.MsgOut(3, &protocol.Msg{Type: protocol.MsgPoll, AU: 1, PollID: 9}, 1_000_040)
-	r.PollConcluded(1, 1, protocol.OutcomeSuccess, 1_000_050)
-	r.RepairApplied(1, 1, 0, 1_000_060)
-	r.Alarm(1, 1, 1_000_070)
+	r.PollConcluded(1, 1, 9, protocol.OutcomeSuccess, 1_000_000, 1_000_050)
+	r.RepairApplied(1, 1, 9, 0, 1_000_060)
+	r.Alarm(1, 1, 9, 1_000_070)
 	if err := r.Close(); err != nil {
 		t.Fatal(err)
 	}

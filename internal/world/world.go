@@ -28,6 +28,7 @@ import (
 	"lockss/internal/reputation"
 	"lockss/internal/sched"
 	"lockss/internal/sim"
+	"lockss/internal/telemetry"
 )
 
 // Config sizes a simulated population. The defaults in Default() follow the
@@ -65,6 +66,12 @@ type Config struct {
 	Costs *effort.CostModel
 	// Duration is the simulated horizon.
 	Duration sim.Duration
+	// Telemetry, when non-nil, receives every peer's poll-lifecycle events
+	// teed alongside the metrics collector: the same histograms a real node
+	// records, fed from virtual time. Bucket counts depend only on virtual
+	// timestamps, so histogram snapshots are identical at every shard count;
+	// the flight-recorder ring's interleaving is not deterministic.
+	Telemetry *telemetry.Telemetry
 	// Shards is the number of parallel peer shards; 0 or 1 selects the
 	// single-engine path. Results are byte-identical at every value.
 	Shards int
@@ -202,6 +209,16 @@ func (e *Env) EvalReceipt(ctx []byte, p effort.Proof) (effort.Receipt, bool) {
 // PeerIDOf maps a peer index to its PeerID (1-based).
 func PeerIDOf(index int) ids.PeerID { return ids.PeerID(index + 1) }
 
+// observerFor is the protocol observer for a peer on shard si: the shard's
+// metrics collector, teed into the world's telemetry recorder when one is
+// configured.
+func (w *World) observerFor(si int32) protocol.Observer {
+	if w.Cfg.Telemetry == nil {
+		return w.collectors[si]
+	}
+	return protocol.TeeObserver(w.collectors[si], w.Cfg.Telemetry)
+}
+
 // New assembles a world. Background load hooks (for 600-AU layering) may be
 // installed on peer schedules before Run.
 func New(cfg Config) (*World, error) {
@@ -291,7 +308,7 @@ func New(cfg Config) (*World, error) {
 		}
 		w.peerShard[i] = si
 		env := &Env{w: w, id: id, rnd: w.Root.ChildN("peer", i), eng: w.engines[si], shard: si}
-		p, err := protocol.New(id, cfg.Protocol, costs, env, w.collectors[si])
+		p, err := protocol.New(id, cfg.Protocol, costs, env, w.observerFor(si))
 		if err != nil {
 			return nil, err
 		}
